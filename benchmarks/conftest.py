@@ -1,0 +1,27 @@
+"""Shared helpers for the per-figure/table benchmark harness.
+
+Each benchmark file regenerates one artifact of the paper's evaluation
+through pytest-benchmark (one round — these are experiments, not
+microbenchmarks), prints the rows/series in the paper's shape, and asserts
+the qualitative result (who wins, roughly by how much, where the crossovers
+sit).  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.harness.report import render_experiment
+
+
+def run_once(benchmark, runner, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark."""
+    result = benchmark.pedantic(runner, kwargs=kwargs, rounds=1, iterations=1)
+    print()
+    print(render_experiment(result))
+    return result
+
+
+@pytest.fixture
+def seed():
+    return 1234

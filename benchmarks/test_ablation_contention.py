@@ -1,0 +1,48 @@
+"""Ablation: insertion-pressure vs Che's approximation for the shared LLC.
+
+The paper's Fig. 1 measures a 6 MB MLR victim badly hurt by two MLOAD
+streams on real Broadwell silicon.  This bench contrasts the repo's two
+shared-cache contention models on that scenario: the default
+insertion-pressure model reproduces the measured crowding; Che's
+characteristic-time model — exact for ideal LRU with Poisson re-references —
+(over-)protects the victim, which is precisely why it is not the default.
+See ``repro/cache/che.py`` for the full discussion.
+"""
+
+from repro.cache.analytical import AccessPattern, AnalyticalCacheModel, Footprint
+from repro.cache.che import CheContentionModel
+from repro.cache.contention import CacheDemand, SharedCacheContentionModel
+from repro.mem.address import MB, CacheGeometry
+
+
+def _fig1_hit_rates(solver):
+    victim = CacheDemand(Footprint(AccessPattern.RANDOM, 6 * MB), 0.05)
+    stream = CacheDemand(Footprint(AccessPattern.SEQUENTIAL, 60 * MB), 0.1)
+    solo = solver.solve([victim])[0].hit_rate
+    crowded = solver.solve([victim, stream, stream])[0].hit_rate
+    return solo, crowded
+
+
+def test_ablation_contention_models(benchmark):
+    analytic = AnalyticalCacheModel(CacheGeometry.xeon_e5())
+
+    def run():
+        insertion = SharedCacheContentionModel(analytic)
+        che = CheContentionModel(analytic)
+        return _fig1_hit_rates(insertion), _fig1_hit_rates(che)
+
+    (ins_solo, ins_crowded), (che_solo, che_crowded) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    print(
+        f"\ninsertion-pressure: solo={ins_solo:.3f} crowded={ins_crowded:.3f}"
+        f"\nche approximation : solo={che_solo:.3f} crowded={che_crowded:.3f}"
+    )
+
+    # Both agree the solo victim fits entirely.
+    assert ins_solo > 0.95 and che_solo > 0.95
+    # The insertion model reproduces the paper's measured crowding...
+    assert ins_crowded < 0.75
+    # ...and is strictly harsher than Che on the same scenario (the
+    # documented reason it is the default).
+    assert ins_crowded < che_crowded

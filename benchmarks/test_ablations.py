@@ -1,0 +1,60 @@
+"""Ablation benches for dCat's design choices (DESIGN.md §5)."""
+
+from conftest import run_once
+
+from repro.harness.experiments.ablations import (
+    run_ablation_interval,
+    run_ablation_perftable,
+    run_ablation_phase_threshold,
+    run_ablation_policy,
+    run_ablation_priority,
+)
+
+
+def test_ablation_perftable(benchmark, seed):
+    result = run_once(benchmark, run_ablation_perftable, seed=seed)
+    table = result.table("convergence")
+    t_on = float(table.lookup("table reuse", "on", "restart-to-converged (s)"))
+    t_off = float(table.lookup("table reuse", "off", "restart-to-converged (s)"))
+    # Table reuse converges the restart strictly faster.
+    assert t_on < t_off
+
+
+def test_ablation_priority(benchmark, seed):
+    result = run_once(benchmark, run_ablation_priority, seed=seed)
+    table = result.table("detection")
+    for row in table.rows:
+        detected_at = float(row[1])
+        mlr_ways = float(row[2])
+        # Streaming is detected in both configurations, and MLR converges.
+        assert detected_at < 15.0
+        assert mlr_ways >= 7.0
+
+
+def test_ablation_policy(benchmark, seed):
+    result = run_once(benchmark, run_ablation_policy, seed=seed)
+    table = result.table("totals")
+    fair = float(table.lookup("policy", "max_fairness", "sum steady norm ipc"))
+    perf = float(table.lookup("policy", "max_performance", "sum steady norm ipc"))
+    # Max-performance never does worse than fairness on total output.
+    assert perf >= fair * 0.995
+
+
+def test_ablation_interval(benchmark, seed):
+    result = run_once(benchmark, run_ablation_interval, seed=seed)
+    table = result.table("sweep")
+    rows = sorted((float(r[0]), float(r[1])) for r in table.rows)
+    converge_times = [t for _, t in rows]
+    # Longer control intervals converge strictly later in wall-clock time.
+    assert all(a <= b for a, b in zip(converge_times, converge_times[1:]))
+    assert converge_times[-1] > 3 * converge_times[0]
+
+
+def test_ablation_phase_threshold(benchmark, seed):
+    result = run_once(benchmark, run_ablation_phase_threshold, seed=seed)
+    table = result.table("sweep")
+    changes = {float(r[0]): int(r[1]) for r in table.rows}
+    # The 10% default sees all three real transitions (idle->mlr,
+    # mlr->hot, hot->idle); a 60% threshold misses the subtle one.
+    assert changes[0.10] == 3
+    assert changes[0.60] < changes[0.10]

@@ -1,0 +1,24 @@
+"""Paper Fig. 1: cache interference for MLR with and without CAT."""
+
+from conftest import run_once
+
+from repro.harness.experiments.micro import run_fig1
+
+
+def test_fig01_interference(benchmark, seed):
+    result = run_once(benchmark, run_fig1, seed=seed)
+
+    for wss in (6, 16):
+        bars = result.bars(f"mlr_{wss}mb")
+        # Noisy neighbors must hurt the unprotected victim badly.
+        assert bars["shared w/ noisy"] > 1.5 * bars["shared w/o noisy"]
+
+    small = result.bars("mlr_6mb")
+    large = result.bars("mlr_16mb")
+    # CAT isolates the 6 MB working set (13.5 MB partition holds it): the
+    # protected latency sits close to the solo run...
+    assert small["cat-6way w/ noisy"] < 1.25 * small["shared w/o noisy"]
+    # ...but fails the 16 MB one (crossover: working set > partition).
+    assert large["cat-6way w/ noisy"] > 1.5 * large["shared w/o noisy"]
+    # Even failing CAT still beats the free-for-all.
+    assert large["cat-6way w/ noisy"] < large["shared w/ noisy"]

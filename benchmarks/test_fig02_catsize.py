@@ -1,0 +1,22 @@
+"""Paper Fig. 2: a 2-way CAT allocation vs the full cache, by page size."""
+
+from conftest import run_once
+
+from repro.harness.experiments.micro import run_fig2
+
+
+def test_fig02_cat_limited_size(benchmark, seed):
+    result = run_once(benchmark, run_fig2, seed=1)
+
+    xeon_d = result.bars("xeon_d")
+    # 4 KB pages: conflict misses make the exactly-sized allocation much
+    # slower than the full cache.
+    assert xeon_d["cat-2way 4k"] > 1.5 * xeon_d["full cache 4k"]
+    # Huge pages cover every Xeon-D set exactly: full-cache latency back.
+    assert xeon_d["cat-2way 2m-hugepage"] == xeon_d["full cache 4k"]
+
+    xeon_e5 = result.bars("xeon_e5")
+    # On Xeon-E5 the 4.5 MB set spans 3 huge pages: conflicts remain.
+    assert xeon_e5["cat-2way 2m-hugepage"] > 1.2 * xeon_e5["full cache 4k"]
+    # But huge pages still improve on 4 KB pages.
+    assert xeon_e5["cat-2way 2m-hugepage"] < xeon_e5["cat-2way 4k"]

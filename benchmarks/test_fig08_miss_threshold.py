@@ -1,0 +1,22 @@
+"""Paper Fig. 8: sensitivity to the cache-miss threshold."""
+
+from conftest import run_once
+
+from repro.harness.experiments.params import run_fig8
+
+
+def test_fig08_miss_threshold(benchmark, seed):
+    result = run_once(benchmark, run_fig8, seed=seed)
+    ways = result.series("ways")
+    latency = result.series("latency")
+
+    # Tighter thresholds demand more ways...
+    assert ways.y[0] >= ways.y[-1] + 2
+    # ...monotonically (allowing plateaus)...
+    assert all(a >= b for a, b in zip(ways.y, ways.y[1:]))
+    # ...and buy lower latency.
+    assert latency.y[0] < latency.y[-1]
+    assert all(a <= b + 1e-9 for a, b in zip(latency.y, latency.y[1:]))
+
+    # At the paper's chosen 3%, the 8 MB probe holds well above baseline.
+    assert ways.at(0.03) >= 6

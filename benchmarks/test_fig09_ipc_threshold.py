@@ -1,0 +1,18 @@
+"""Paper Fig. 9: sensitivity to the IPC-improvement threshold."""
+
+from conftest import run_once
+
+from repro.harness.experiments.params import run_fig9
+
+
+def test_fig09_ipc_threshold(benchmark, seed):
+    result = run_once(benchmark, run_fig9, seed=seed)
+    ways = result.series("ways")
+
+    # More demanding improvement thresholds stop growth earlier.
+    assert all(a >= b for a, b in zip(ways.y, ways.y[1:]))
+    assert ways.y[0] >= ways.y[-1] + 3
+    # At the paper's default (5%) the probe still reaches a large share.
+    assert ways.at(0.05) >= 7
+    # At 40% it barely grows beyond the baseline.
+    assert ways.at(0.40) <= 4

@@ -1,0 +1,26 @@
+"""Paper Fig. 10: way-allocation and normalized-IPC timelines for MLR."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig10
+
+
+def test_fig10_allocation_timelines(benchmark, seed):
+    result = run_once(benchmark, run_fig10, seed=seed)
+    finals = result.table("finals")
+
+    ways = {int(r[0]): float(r[1]) for r in finals.rows}
+    norm = {int(r[0]): float(r[2]) for r in finals.rows}
+
+    # Larger working sets converge at strictly more ways.
+    assert ways[4] < ways[8] < ways[12] <= ways[16]
+    # Every working set ends above its 3-way baseline performance.
+    assert all(v > 1.05 for v in norm.values())
+    # The paper's growth shape: one way per control round after reclaim.
+    series = result.series("ways_8mb")
+    grow_steps = [b - a for a, b in zip(series.y, series.y[1:]) if b > a]
+    assert grow_steps.count(1.0) >= len(grow_steps) - 1
+    # IPC rises monotonically while growing (modulo noise).
+    normipc = result.series("normipc_8mb").y
+    active = [v for v in normipc if v > 0]
+    assert active[-1] > 1.8  # ~2x at the preferred allocation

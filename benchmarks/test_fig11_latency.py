@@ -1,0 +1,22 @@
+"""Paper Fig. 11: MLR latency normalized to the full-cache run."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig11
+
+
+def test_fig11_normalized_latency(benchmark, seed):
+    result = run_once(benchmark, run_fig11, seed=seed)
+    dcat = result.series("dcat")
+    static = result.series("static")
+
+    # dCat tracks the full cache closely at every working-set size.
+    assert all(v < 1.15 for v in dcat.y)
+    # Static CAT falls off a cliff once the set outgrows the 3-way partition
+    # (6.75 MB): the crossover the paper highlights.
+    assert static.at(4.0) < 1.5
+    assert static.at(8.0) > 1.5
+    assert static.at(16.0) > 2.0
+    # Static degradation grows with the working set; dCat's does not.
+    assert all(a <= b + 1e-9 for a, b in zip(static.y, static.y[1:]))
+    assert max(dcat.y) - min(dcat.y) < 0.15

@@ -1,0 +1,30 @@
+"""Paper Fig. 12: performance-table reuse across a stop/restart."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig12
+
+
+def _restart_convergence(series, target, restart_t=19.0):
+    for t, w in zip(series.x, series.y):
+        if t >= restart_t and w >= target:
+            return t
+    return float("inf")
+
+
+def test_fig12_table_reuse(benchmark, seed):
+    result = run_once(benchmark, run_fig12, seed=seed)
+    with_table = result.series("ways_with_table")
+    without = result.series("ways_without_table")
+
+    converged = max(w for t, w in zip(with_table.x, with_table.y) if t < 16.0)
+    t_with = _restart_convergence(with_table, converged)
+    t_without = _restart_convergence(without, converged)
+
+    # With the table the restart reaches the preferred allocation within
+    # ~2 control intervals; without it, one way per round from baseline.
+    assert t_with <= 21.0
+    assert t_without >= t_with + 3.0
+
+    # Both runs converge to the same preferred allocation eventually.
+    assert max(without.y) == converged

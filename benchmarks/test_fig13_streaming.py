@@ -1,0 +1,28 @@
+"""Paper Fig. 13: MLOAD grows to the streaming threshold, then donates."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig13
+
+
+def test_fig13_streaming_demotion(benchmark, seed):
+    result = run_once(benchmark, run_fig13, seed=seed)
+    ways = result.series("ways")
+    normipc = result.series("normipc")
+
+    # Probed exactly up to 3x the 3-way baseline before demotion.
+    assert ways.peak == 9.0
+    # Ends pinned at the minimum allocation.
+    assert ways.final == 1.0
+    # IPC never responded to the extra cache (within noise), including
+    # after the demotion — streaming loses nothing at 1 way.  The first
+    # active interval (pre-reclaim, DRAM load still settling) is excluded.
+    active = [v for v in normipc.y if v > 0][1:]
+    assert max(active) < 1.06
+    assert min(active) > 0.94
+
+    # The states table records the Unknown -> Streaming trajectory.
+    states = [row[2] for row in result.table("states").rows]
+    assert "unknown" in states
+    assert states[-1] == "streaming"
+    assert states.index("streaming") > states.index("unknown")

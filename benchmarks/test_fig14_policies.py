@@ -1,0 +1,24 @@
+"""Paper Fig. 14: two receivers under max-fairness vs max-performance."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig14
+
+
+def test_fig14_two_receivers(benchmark, seed):
+    result = run_once(benchmark, run_fig14, seed=seed)
+    finals = result.table("finals")
+
+    fair_8 = float(finals.lookup("policy", "max_fairness", "mlr-8mb ways"))
+    fair_12 = float(finals.lookup("policy", "max_fairness", "mlr-12mb ways"))
+    perf_8 = float(finals.lookup("policy", "max_performance", "mlr-8mb ways"))
+    perf_12 = float(finals.lookup("policy", "max_performance", "mlr-12mb ways"))
+
+    # Fairness splits the scarce pool evenly.
+    assert abs(fair_8 - fair_12) <= 1.0
+    # Max-performance shifts capacity toward the larger working set, which
+    # still converts ways into IPC where the smaller one has plateaued.
+    assert perf_12 > perf_8
+    assert perf_12 >= fair_12
+    # Total capacity is conserved across policies.
+    assert abs((perf_8 + perf_12) - (fair_8 + fair_12)) <= 1.0

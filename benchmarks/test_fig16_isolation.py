@@ -1,0 +1,17 @@
+"""Paper Fig. 16: dCat latency vs solo full-cache runs for the Fig. 15 pair."""
+
+from conftest import run_once
+
+from repro.harness.experiments.timelines import run_fig16
+
+
+def test_fig16_no_harm_harvesting(benchmark, seed):
+    result = run_once(benchmark, run_fig16, seed=seed)
+    bars = result.bars("normalized_latency")
+
+    # MLR ends within ~10% of its solo full-cache latency: dCat's harvested
+    # allocation effectively recreates the private cache.
+    assert bars["mlr-8mb"] < 1.10
+    # MLOAD at one way pays essentially nothing vs the full cache: the
+    # paper's point that harvesting never hurts the donor.
+    assert bars["mload-60mb"] < 1.05

@@ -1,0 +1,25 @@
+"""Paper Table 1: a performance table accumulated by the controller."""
+
+from conftest import run_once
+
+from repro.harness.experiments.tables import run_tab1
+
+
+def test_tab01_performance_table(benchmark, seed):
+    result = run_once(benchmark, run_tab1, seed=seed)
+    table = result.table("performance_table")
+
+    marks = {row[2]: row[0] for row in table.rows if row[2]}
+    assert "baseline" in marks and marks["baseline"] == 3
+    assert "preferred" in marks and marks["preferred"] > 3
+
+    # Normalized IPC is ~1.0 at the baseline and non-decreasing with ways.
+    numeric = [
+        (row[0], float(row[1])) for row in table.rows if row[1] != "N/A"
+    ]
+    by_ways = dict(numeric)
+    assert abs(by_ways[3] - 1.0) < 0.05
+    values = [v for _, v in sorted(numeric)]
+    assert all(b >= a - 0.03 for a, b in zip(values, values[1:]))
+    # The preferred allocation sits on the plateau's left edge.
+    assert by_ways[marks["preferred"]] >= max(values) * 0.98

@@ -1,0 +1,26 @@
+"""Paper Table 3: the ceiling of dCat way assignments per SPEC benchmark."""
+
+from conftest import run_once
+
+from repro.harness.experiments.spec2006 import run_tab3
+
+# A fast representative subset (the full 20 run under test_fig17_spec).
+SUBSET = ["omnetpp", "astar", "libquantum", "gobmk", "namd", "mcf"]
+
+
+def test_tab03_assigned_ways(benchmark, seed):
+    result = run_once(benchmark, run_tab3, seed=seed, benchmarks=SUBSET)
+    table = result.table("ways")
+    ways = {row[0]: float(row[1]) for row in table.rows}
+
+    # Cache-hungry high-reuse benchmarks harvest well beyond the 4-way
+    # baseline...
+    assert ways["omnetpp"] >= 8
+    assert ways["astar"] >= 7
+    assert ways["mcf"] >= 7
+    # ...compute-bound ones never need more than their reservation...
+    assert ways["gobmk"] <= 4
+    assert ways["namd"] <= 4
+    # ...and streaming probes a little, then is demoted (its ceiling stays
+    # below the cache-hungry receivers').
+    assert ways["libquantum"] < ways["omnetpp"]

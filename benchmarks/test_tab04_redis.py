@@ -1,0 +1,27 @@
+"""Paper Table 4: Redis under memtier, three cache regimes.
+
+Paper: dCat improves throughput 57.6% over the shared LLC and 26.6% over
+the static partition (so static beats shared by ~24%).
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments.apps import run_tab4
+
+
+def test_tab04_redis(benchmark, seed):
+    result = run_once(benchmark, run_tab4, seed=seed)
+    table = result.table("redis")
+
+    tput = {row[0]: float(row[1]) for row in table.rows}
+    latency = {row[0]: float(row[2]) for row in table.rows}
+
+    # Ordering: dCat > static > shared on throughput, reversed on latency.
+    assert tput["dcat"] > tput["static"] > tput["shared"]
+    assert latency["dcat"] < latency["static"] < latency["shared"]
+
+    # Rough factors (paper: +57.6% / +26.6%).
+    d_vs_shared = tput["dcat"] / tput["shared"]
+    d_vs_static = tput["dcat"] / tput["static"]
+    assert 1.35 < d_vs_shared < 1.95
+    assert 1.12 < d_vs_static < 1.45

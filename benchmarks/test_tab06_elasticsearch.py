@@ -1,0 +1,27 @@
+"""Paper Table 6: Elasticsearch under YCSB workload C.
+
+Paper: dCat improves average latency ~10% and p99 latency ~11.6% over both
+static partitioning and shared cache, which roughly tie.
+"""
+
+from conftest import run_once
+
+from repro.harness.experiments.apps import run_tab6
+
+
+def test_tab06_elasticsearch(benchmark, seed):
+    result = run_once(benchmark, run_tab6, seed=seed)
+    table = result.table("elasticsearch")
+
+    avg = {row[0]: float(row[2]) for row in table.rows}
+    p99 = {row[0]: float(row[3]) for row in table.rows}
+
+    # dCat improves both percentiles over both baselines.
+    assert avg["dcat"] < min(avg["shared"], avg["static"])
+    assert p99["dcat"] < min(p99["shared"], p99["static"])
+
+    # Roughly the paper's ~10% improvement band.
+    assert 0.05 < 1 - avg["dcat"] / avg["shared"] < 0.25
+    assert 0.05 < 1 - p99["dcat"] / p99["shared"] < 0.25
+    # Static and shared tie within ~10%.
+    assert abs(avg["static"] / avg["shared"] - 1.0) < 0.10

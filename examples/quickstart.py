@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: dCat harvesting idle cache for a hungry workload.
+
+Builds the paper's host (Xeon E5-2697 v4: 18 cores, 20-way 45 MB LLC), puts
+one cache-hungry MLR workload (8 MB working set) next to five lookbusy VMs
+(CPU burners with no cache appetite), and lets the dCat controller manage
+the LLC.  Watch the timeline: the lookbusy VMs are classified Donor and
+squeezed to 1 way each, while the MLR VM grows from its 3-way reservation
+one way per control interval until its miss rate falls under the 3%
+threshold.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.config import DCatConfig
+from repro.mem.address import MB
+from repro.platform.machine import Machine
+from repro.platform.managers import DCatManager
+from repro.platform.sim import CloudSimulation
+from repro.platform.vm import VirtualMachine, pin_vms
+from repro.workloads.lookbusy import LookbusyWorkload
+from repro.workloads.mlr import MlrWorkload
+
+
+def main() -> None:
+    machine = Machine(seed=42)
+
+    vms = [
+        VirtualMachine(
+            name="tenant-hungry",
+            workload=MlrWorkload(8 * MB, start_delay_s=2.0, name="tenant-hungry"),
+            baseline_ways=3,
+        )
+    ]
+    for i in range(5):
+        vms.append(
+            VirtualMachine(
+                name=f"tenant-busy-{i}",
+                workload=LookbusyWorkload(name=f"tenant-busy-{i}"),
+                baseline_ways=3,
+            )
+        )
+    pin_vms(vms, machine.spec)
+
+    manager = DCatManager(config=DCatConfig())  # the paper's thresholds
+    sim = CloudSimulation(machine, vms, manager)
+    result = sim.run(duration_s=20.0)
+
+    print(f"{'t':>4} {'phase':<14} {'ways':>5} {'LLC hit':>8} {'IPC':>7} state")
+    for rec in result.timeline("tenant-hungry"):
+        state = rec.state.value if rec.state else "-"
+        print(
+            f"{rec.time_s:4.0f} {rec.phase_name or '-':<14} {rec.ways:5.0f} "
+            f"{rec.llc_hit_rate:8.3f} {rec.ipc:7.3f} {state}"
+        )
+
+    final_ways = result.final("tenant-hungry", "ways")
+    donors = [result.final(f"tenant-busy-{i}", "ways") for i in range(5)]
+    print()
+    print(f"tenant-hungry converged at {final_ways:.0f} ways "
+          f"({final_ways * machine.spec.llc_way_bytes / MB:.1f} MB)")
+    print(f"lookbusy tenants hold {donors} way(s) each as Donors")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Cache substrate: exact and analytical LLC models, conflicts, contention."""
+
+from repro.cache.analytical import AccessPattern, AnalyticalCacheModel
+from repro.cache.contention import (
+    CacheDemand,
+    ContentionShare,
+    SharedCacheContentionModel,
+)
+from repro.cache.conflict import (
+    ScatterSummary,
+    analyze_buffer_scatter,
+    conflicted_set_fraction,
+    lines_per_set,
+    set_occupancy_histogram,
+    uniform_irm_hit_rate,
+)
+from repro.cache.hierarchy import CacheHierarchy, HierarchyStats, HitLevel
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+from repro.cache.setassoc import AccessResult, CacheStats, SetAssociativeCache
+
+__all__ = [
+    "AccessPattern",
+    "AnalyticalCacheModel",
+    "CacheDemand",
+    "ContentionShare",
+    "SharedCacheContentionModel",
+    "ScatterSummary",
+    "analyze_buffer_scatter",
+    "conflicted_set_fraction",
+    "lines_per_set",
+    "set_occupancy_histogram",
+    "uniform_irm_hit_rate",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "HitLevel",
+    "LruPolicy",
+    "RandomPolicy",
+    "ReplacementPolicy",
+    "TreePlruPolicy",
+    "make_policy",
+    "AccessResult",
+    "CacheStats",
+    "SetAssociativeCache",
+]

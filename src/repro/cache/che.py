@@ -1,0 +1,167 @@
+"""Che's approximation: an alternative shared-LLC contention model.
+
+The default contention model (:mod:`repro.cache.contention`) divides
+capacity in proportion to *insertion rates* — the classic streaming-wins
+behaviour the dCat paper measures on real Broadwell parts.  The cache
+literature's other canonical model is **Che's approximation** (Che, Tung &
+Wang, 2002): a shared LRU cache has one *characteristic time* ``T`` such
+that a line survives iff it is re-referenced within ``T``; ``T`` solves
+
+    sum_i  expected_resident_lines_i(T)  =  capacity.
+
+Under Che, a small hot working set whose lines are re-touched every few
+microseconds is immune to streaming pressure — *more* protective of victims
+than the insertion model.  Real inclusive LLCs sit between the two (hot
+lines resist eviction, but inclusive back-invalidation and non-ideal
+replacement still bleed them), and the dCat paper's Figure 1 — a 6 MB
+random working set visibly trashed by two streams — lands closer to the
+insertion model, which is why that one is the default.  This module exists
+so the choice is explicit and testable; the ablation bench
+(``benchmarks/test_ablation_contention.py``) contrasts the two on the
+paper's Figure 1 scenario.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.cache.analytical import AccessPattern, AnalyticalCacheModel
+from repro.cache.contention import CacheDemand, ContentionShare
+
+__all__ = ["CheContentionModel"]
+
+
+def _residency(demand: CacheDemand, t: float, line_size: int) -> float:
+    """Expected resident lines of one demand at characteristic time ``t``.
+
+    Per-line reference processes are modeled as Poisson with the demand's
+    per-line touch rate; a line is resident iff touched within ``t``
+    (probability ``1 - exp(-rate * t)``).
+    """
+    fp = demand.footprint
+    n = max(1, fp.wss_bytes // line_size)
+    r = demand.ref_rate
+    if r <= 0 or fp.pattern is AccessPattern.NONE:
+        return 0.0
+    if fp.pattern is AccessPattern.RANDOM:
+        lam = r / n
+        return n * -math.expm1(-lam * t)
+    if fp.pattern is AccessPattern.SEQUENTIAL:
+        # A cyclic sweep touches each line exactly once per n/r; lines
+        # younger than t are resident.
+        return min(float(n), r * t)
+    if fp.pattern is AccessPattern.HOTCOLD:
+        hot = max(1, (fp.hot_bytes or 0) // line_size)
+        p = fp.hot_fraction or 0.0
+        cold = max(1, n - hot)
+        lam_hot = p * r / hot
+        lam_cold = (1.0 - p) * r / cold
+        return hot * -math.expm1(-lam_hot * t) + cold * -math.expm1(
+            -lam_cold * t
+        )
+    # ZIPF: integrate over geometric rank buckets.
+    s = fp.zipf_s if fp.zipf_s is not None else 0.99
+    bounds = np.unique(np.geomspace(1, n + 1, num=129).astype(np.int64))
+    ranks = (bounds[:-1] + bounds[1:] - 1) / 2.0
+    widths = (bounds[1:] - bounds[:-1]).astype(float)
+    weights = ranks ** -s
+    total_weight = float((widths * weights).sum())
+    lam = r * weights / total_weight
+    return float((widths * -np.expm1(-lam * t)).sum())
+
+
+def _hit_rate(demand: CacheDemand, t: float, line_size: int) -> float:
+    """Hit probability of one access at characteristic time ``t``.
+
+    Under the independent-reference model this is the reference-weighted
+    residency probability.
+    """
+    fp = demand.footprint
+    n = max(1, fp.wss_bytes // line_size)
+    r = demand.ref_rate
+    if r <= 0 or fp.pattern is AccessPattern.NONE:
+        return 0.0
+    if fp.pattern is AccessPattern.RANDOM:
+        return -math.expm1(-(r / n) * t)
+    if fp.pattern is AccessPattern.SEQUENTIAL:
+        # Re-touch interval is exactly n/r: all hits or all misses.
+        return 1.0 if t >= n / r else 0.0
+    if fp.pattern is AccessPattern.HOTCOLD:
+        hot = max(1, (fp.hot_bytes or 0) // line_size)
+        p = fp.hot_fraction or 0.0
+        cold = max(1, n - hot)
+        return p * -math.expm1(-(p * r / hot) * t) + (1 - p) * -math.expm1(
+            -((1 - p) * r / cold) * t
+        )
+    s = fp.zipf_s if fp.zipf_s is not None else 0.99
+    bounds = np.unique(np.geomspace(1, n + 1, num=129).astype(np.int64))
+    ranks = (bounds[:-1] + bounds[1:] - 1) / 2.0
+    widths = (bounds[1:] - bounds[:-1]).astype(float)
+    weights = ranks ** -s
+    total_weight = float((widths * weights).sum())
+    probs = widths * weights / total_weight  # reference mass per bucket
+    lam = r * weights / total_weight
+    return float((probs * -np.expm1(-lam * t)).sum())
+
+
+@dataclass
+class CheContentionModel:
+    """Characteristic-time solver for a fully shared LRU cache.
+
+    Drop-in alternative to
+    :class:`~repro.cache.contention.SharedCacheContentionModel` (same
+    ``solve`` signature and result type).
+
+    Attributes:
+        model: Analytical model (borrowed for its geometry).
+        time_scale: Multiplier on the solved characteristic time — below
+            1.0 emulates the less-than-ideal retention of real inclusive
+            LLCs (back-invalidation, non-LRU replacement).
+    """
+
+    model: AnalyticalCacheModel
+    time_scale: float = 1.0
+
+    def solve(self, demands: Sequence[CacheDemand]) -> List[ContentionShare]:
+        geo = self.model.geometry
+        line_size = geo.line_size
+        capacity = float(geo.num_sets * geo.num_ways)
+        active = list(demands)
+        if not active:
+            return []
+
+        def occupancy(t: float) -> float:
+            return sum(_residency(d, t, line_size) for d in active)
+
+        # Bisection on T: occupancy is monotone increasing in T.
+        lo, hi = 0.0, 1.0
+        while occupancy(hi) < capacity and hi < 1e18:
+            hi *= 4.0
+        if occupancy(hi) < capacity:
+            # The demands cannot fill the cache: everything resident.
+            t = hi
+        else:
+            for _ in range(80):
+                mid = (lo + hi) / 2.0
+                if occupancy(mid) < capacity:
+                    lo = mid
+                else:
+                    hi = mid
+            t = (lo + hi) / 2.0
+        t *= self.time_scale
+
+        shares: List[ContentionShare] = []
+        for d in active:
+            resident = _residency(d, t, line_size)
+            shares.append(
+                ContentionShare(
+                    demand=d,
+                    effective_ways=resident / max(1, geo.num_sets),
+                    hit_rate=_hit_rate(d, t, line_size),
+                )
+            )
+        return shares

@@ -1,0 +1,160 @@
+"""Inclusive L1/L2/LLC cache hierarchy built from exact cache models.
+
+Intel's pre-Skylake server parts (both paper machines are Broadwell) use an
+*inclusive* LLC: every line resident in an inner cache is also resident in
+the LLC, and evicting a line from the LLC back-invalidates it from all inner
+caches.  That inclusivity is what makes LLC interference so painful — a noisy
+neighbor evicting your LLC lines also rips them out of your private L1/L2 —
+and is why the paper's Figure 1 victim slows down even though its hot data
+"should" fit in private caches.
+
+The hierarchy here wires per-core private L1s (and optional L2s) over one
+shared :class:`SetAssociativeCache` LLC, with the LLC's eviction callback
+performing the back-invalidation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.mem.address import CacheGeometry
+from repro.cache.setassoc import SetAssociativeCache
+
+__all__ = ["HitLevel", "HierarchyStats", "CacheHierarchy"]
+
+
+class HitLevel(enum.Enum):
+    """Cache level that served an access."""
+
+    L1 = "l1"
+    L2 = "l2"
+    LLC = "llc"
+    DRAM = "dram"
+
+
+@dataclass
+class HierarchyStats:
+    """Per-core counters in the shape the perf-event substrate exposes."""
+
+    l1_refs: int = 0
+    l1_misses: int = 0
+    llc_refs: int = 0
+    llc_misses: int = 0
+
+    def reset(self) -> None:
+        self.l1_refs = 0
+        self.l1_misses = 0
+        self.llc_refs = 0
+        self.llc_misses = 0
+
+
+class CacheHierarchy:
+    """Multi-core inclusive hierarchy with a CAT-partitionable LLC.
+
+    Args:
+        num_cores: Number of cores (each gets a private L1, optional L2).
+        llc_geometry: Shared LLC geometry.
+        l1_geometry: Private L1 geometry (defaults to 32 KB 8-way).
+        l2_geometry: Optional private L2 geometry; None disables L2.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        llc_geometry: CacheGeometry,
+        l1_geometry: Optional[CacheGeometry] = None,
+        l2_geometry: Optional[CacheGeometry] = None,
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError("need at least one core")
+        if l1_geometry is None:
+            l1_geometry = CacheGeometry(line_size=llc_geometry.line_size, num_sets=64, num_ways=8)
+        if l1_geometry.line_size != llc_geometry.line_size or (
+            l2_geometry is not None and l2_geometry.line_size != llc_geometry.line_size
+        ):
+            raise ValueError("all levels must share one line size")
+        self.num_cores = num_cores
+        self.llc = SetAssociativeCache(
+            llc_geometry, eviction_callback=self._back_invalidate
+        )
+        self.l1s: List[SetAssociativeCache] = [
+            SetAssociativeCache(l1_geometry) for _ in range(num_cores)
+        ]
+        self.l2s: Optional[List[SetAssociativeCache]] = (
+            [SetAssociativeCache(l2_geometry) for _ in range(num_cores)]
+            if l2_geometry is not None
+            else None
+        )
+        self.stats: List[HierarchyStats] = [HierarchyStats() for _ in range(num_cores)]
+        self._masks: Dict[int, int] = {
+            core: self.llc.full_mask for core in range(num_cores)
+        }
+
+    # -- CAT control -----------------------------------------------------------
+
+    def set_way_mask(self, core: int, mask: int) -> None:
+        """Restrict which LLC ways ``core`` may fill into."""
+        self.llc.validate_mask(mask)
+        self._masks[core] = mask
+
+    def way_mask(self, core: int) -> int:
+        return self._masks[core]
+
+    # -- access path -----------------------------------------------------------
+
+    def access(self, core: int, paddr: int) -> HitLevel:
+        """One memory reference by ``core``; returns the serving level.
+
+        Maintains inclusivity: a fill at any inner level implies an LLC
+        access (and fill on LLC miss), and LLC evictions back-invalidate.
+        """
+        stats = self.stats[core]
+        stats.l1_refs += 1
+        l1 = self.l1s[core]
+        if l1.access(paddr).hit:
+            return HitLevel.L1
+        stats.l1_misses += 1
+
+        if self.l2s is not None:
+            l2_hit = self.l2s[core].access(paddr).hit
+        else:
+            l2_hit = False
+        if l2_hit:
+            # Inclusive: a real L2 hit does not reach the LLC pipeline, but
+            # the line is guaranteed resident there already.
+            return HitLevel.L2
+
+        stats.llc_refs += 1
+        result = self.llc.access(paddr, mask=self._masks[core], cos=core)
+        if result.hit:
+            return HitLevel.LLC
+        stats.llc_misses += 1
+        return HitLevel.DRAM
+
+    # -- inclusivity -------------------------------------------------------------
+
+    def _back_invalidate(self, line_id: int) -> None:
+        """Drop an LLC-evicted line from every inner cache (inclusive LLC)."""
+        geo = self.llc.geometry
+        paddr = line_id << geo.offset_bits
+        for cache_list in ([self.l1s] if self.l2s is None else [self.l1s, self.l2s]):
+            for inner in cache_list:
+                way = inner.lookup(paddr)
+                if way is not None:
+                    s = inner.geometry.set_index(paddr)
+                    inner._tags[s, way] = SetAssociativeCache.INVALID_TAG
+
+    def check_inclusive(self, sample_paddrs) -> bool:
+        """True if every sampled inner-resident line is also LLC-resident."""
+        for paddr in sample_paddrs:
+            line_id = paddr >> self.llc.geometry.offset_bits
+            inner_resident = any(l1.lookup(paddr) is not None for l1 in self.l1s)
+            if self.l2s is not None:
+                inner_resident = inner_resident or any(
+                    l2.lookup(paddr) is not None for l2 in self.l2s
+                )
+            if inner_resident and not self.llc.contains_line(line_id):
+                return False
+        return True

@@ -1,0 +1,180 @@
+"""Replacement policies for the set-associative cache model.
+
+Policies are deliberately CAT-aware: Intel CAT restricts which ways a core
+may *fill into*, so victim selection must be constrained to an allowed-way
+bitmask.  A policy therefore answers one question — "given this set and this
+allowed mask, which way do I evict?" — and receives touch notifications to
+maintain recency state.
+
+All per-set state is stored in flat numpy arrays sized ``num_sets x
+num_ways`` so a cache with tens of thousands of sets stays cheap to build.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "TreePlruPolicy",
+    "RandomPolicy",
+    "make_policy",
+]
+
+
+def _mask_ways(mask: int, num_ways: int) -> np.ndarray:
+    """Return the way indices enabled in ``mask`` as an int array."""
+    ways = np.nonzero([(mask >> w) & 1 for w in range(num_ways)])[0]
+    if ways.size == 0:
+        raise ValueError("allowed-way mask must enable at least one way")
+    return ways
+
+
+class ReplacementPolicy(abc.ABC):
+    """Abstract victim-selection policy over a fixed geometry."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        if num_sets < 1 or num_ways < 1:
+            raise ValueError("geometry must have at least one set and one way")
+        self.num_sets = num_sets
+        self.num_ways = num_ways
+
+    @abc.abstractmethod
+    def touch(self, set_index: int, way: int) -> None:
+        """Record a hit (or fill) of ``way`` in ``set_index``."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, allowed_mask: int) -> int:
+        """Pick the way to evict in ``set_index`` among ``allowed_mask`` ways."""
+
+    def reset(self) -> None:
+        """Forget all recency state (used when ways are flushed)."""
+
+
+class LruPolicy(ReplacementPolicy):
+    """True least-recently-used via per-way timestamps.
+
+    A global monotonically increasing counter stamps every touch; the victim
+    is the allowed way with the smallest stamp.  Exact LRU is what the
+    analytical model assumes, so the exact simulator defaults to it.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._stamps = np.zeros((num_sets, num_ways), dtype=np.int64)
+        self._clock = 0
+
+    def touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index, way] = self._clock
+
+    def victim(self, set_index: int, allowed_mask: int) -> int:
+        ways = _mask_ways(allowed_mask, self.num_ways)
+        stamps = self._stamps[set_index, ways]
+        return int(ways[int(np.argmin(stamps))])
+
+    def reset(self) -> None:
+        self._stamps.fill(0)
+        self._clock = 0
+
+
+class TreePlruPolicy(ReplacementPolicy):
+    """Tree pseudo-LRU, the policy real Intel LLC slices approximate.
+
+    Maintains a binary decision tree of ``num_ways - 1`` bits per set
+    (rounded up to the next power-of-two way count).  Victim selection walks
+    the tree away from recent accesses; when the tree's choice is not in the
+    allowed mask, we fall back to the least-recently *touched* allowed way
+    using coarse 8-bit age counters, which is close to how hardware handles
+    CAT-masked fills.
+    """
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._tree_ways = 1
+        while self._tree_ways < num_ways:
+            self._tree_ways *= 2
+        self._bits = np.zeros((num_sets, max(self._tree_ways - 1, 1)), dtype=np.uint8)
+        self._ages = np.zeros((num_sets, num_ways), dtype=np.uint8)
+
+    def touch(self, set_index: int, way: int) -> None:
+        # Walk root->leaf, pointing each node away from this way.
+        node = 0
+        lo, hi = 0, self._tree_ways
+        bits = self._bits[set_index]
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1  # point away: next victim search goes right
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        ages = self._ages[set_index]
+        ages[ages > 0] -= 1
+        ages[way] = 255
+
+    def victim(self, set_index: int, allowed_mask: int) -> int:
+        bits = self._bits[set_index]
+        node = 0
+        lo, hi = 0, self._tree_ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node]:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        choice = lo
+        if choice < self.num_ways and (allowed_mask >> choice) & 1:
+            return choice
+        ways = _mask_ways(allowed_mask, self.num_ways)
+        ages = self._ages[set_index, ways]
+        return int(ways[int(np.argmin(ages))])
+
+    def reset(self) -> None:
+        self._bits.fill(0)
+        self._ages.fill(0)
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform-random victim among allowed ways (baseline for ablations)."""
+
+    def __init__(
+        self,
+        num_sets: int,
+        num_ways: int,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rng = rng if rng is not None else np.random.default_rng(7)
+
+    def touch(self, set_index: int, way: int) -> None:  # noqa: D102 - stateless
+        pass
+
+    def victim(self, set_index: int, allowed_mask: int) -> int:
+        ways = _mask_ways(allowed_mask, self.num_ways)
+        return int(self._rng.choice(ways))
+
+
+def make_policy(
+    name: str,
+    num_sets: int,
+    num_ways: int,
+    rng: Optional[np.random.Generator] = None,
+) -> ReplacementPolicy:
+    """Factory for replacement policies by name (``lru``/``plru``/``random``)."""
+    if name == "lru":
+        return LruPolicy(num_sets, num_ways)
+    if name == "plru":
+        return TreePlruPolicy(num_sets, num_ways)
+    if name == "random":
+        return RandomPolicy(num_sets, num_ways, rng=rng)
+    raise ValueError(f"unknown replacement policy {name!r}")

@@ -1,0 +1,280 @@
+"""Exact set-associative, inclusive, CAT-partitionable cache model.
+
+This is the high-fidelity LLC model: every access walks a real tag array
+with per-set replacement state, and fills are constrained to the accessing
+class-of-service's way mask exactly as Intel CAT constrains them.  It is
+used for the conflict-miss studies (paper Figs. 2-3), for validating the
+fast analytical model, and inside the full hierarchy when exactness matters
+more than speed.
+
+CAT semantics reproduced here (per Intel SDM / the CAT HPCA'16 paper):
+
+* A way mask restricts *allocation* (fills), not *lookup*: a core may hit on
+  a line in any way, including ways outside its mask.
+* Victims are chosen only among the masked ways, so a workload can never
+  evict lines from ways it does not own.
+* Masks may overlap between classes (dCat chooses not to overlap them, but
+  the hardware allows it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.mem.address import CacheGeometry
+from repro.cache.replacement import ReplacementPolicy, make_policy
+
+__all__ = ["AccessResult", "CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class AccessResult:
+    """Outcome of a single cache access."""
+
+    hit: bool
+    set_index: int
+    way: int
+    evicted_line: Optional[int] = None  # physical line id dropped, if any
+
+
+@dataclass
+class CacheStats:
+    """Cumulative hit/miss counters, optionally tracked per COS."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    per_cos_hits: Dict[int, int] = field(default_factory=dict)
+    per_cos_misses: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def record(self, cos: int, hit: bool) -> None:
+        if hit:
+            self.hits += 1
+            self.per_cos_hits[cos] = self.per_cos_hits.get(cos, 0) + 1
+        else:
+            self.misses += 1
+            self.per_cos_misses[cos] = self.per_cos_misses.get(cos, 0) + 1
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.per_cos_hits.clear()
+        self.per_cos_misses.clear()
+
+
+class SetAssociativeCache:
+    """Tag-array cache with way-mask-constrained fills.
+
+    Args:
+        geometry: Cache geometry (sets, ways, line size).
+        policy: Replacement policy name (``lru``, ``plru``, ``random``) or a
+            prebuilt :class:`ReplacementPolicy`.
+        eviction_callback: Invoked with the physical line id of every line
+            dropped from the cache — the hierarchy uses this for inclusive
+            back-invalidation of inner caches.
+    """
+
+    INVALID_TAG = -1
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        policy: str | ReplacementPolicy = "lru",
+        eviction_callback: Optional[Callable[[int], None]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        self.geometry = geometry
+        nsets, nways = geometry.num_sets, geometry.num_ways
+        self._tags = np.full((nsets, nways), self.INVALID_TAG, dtype=np.int64)
+        self._owner_cos = np.full((nsets, nways), -1, dtype=np.int16)
+        if isinstance(policy, ReplacementPolicy):
+            self._policy = policy
+        else:
+            self._policy = make_policy(policy, nsets, nways, rng=rng)
+        self.stats = CacheStats()
+        self._eviction_callback = eviction_callback
+        self._full_mask = (1 << nways) - 1
+
+    # -- mask helpers ---------------------------------------------------------
+
+    def validate_mask(self, mask: int) -> int:
+        """Clamp-and-check an allocation mask; returns it unchanged if valid."""
+        if mask <= 0 or mask > self._full_mask:
+            raise ValueError(
+                f"way mask {mask:#x} out of range for {self.geometry.num_ways} ways"
+            )
+        return mask
+
+    @property
+    def full_mask(self) -> int:
+        """Mask enabling every way."""
+        return self._full_mask
+
+    # -- core access path ------------------------------------------------------
+
+    def lookup(self, paddr: int) -> Optional[int]:
+        """Return the way holding ``paddr``'s line, or None (no side effects)."""
+        geo = self.geometry
+        set_index = geo.set_index(paddr)
+        tag = geo.tag(paddr)
+        ways = np.nonzero(self._tags[set_index] == tag)[0]
+        return int(ways[0]) if ways.size else None
+
+    def access(self, paddr: int, mask: Optional[int] = None, cos: int = 0) -> AccessResult:
+        """Perform one access (lookup + fill on miss) under a way mask.
+
+        Args:
+            paddr: Physical byte address.
+            mask: Allocation mask for fills; defaults to all ways (no CAT).
+            cos: Class-of-service id, used only for accounting.
+        """
+        geo = self.geometry
+        fill_mask = self._full_mask if mask is None else self.validate_mask(mask)
+        set_index = geo.set_index(paddr)
+        tag = geo.tag(paddr)
+        row = self._tags[set_index]
+
+        hit_ways = np.nonzero(row == tag)[0]
+        if hit_ways.size:
+            way = int(hit_ways[0])
+            self._policy.touch(set_index, way)
+            self.stats.record(cos, hit=True)
+            return AccessResult(hit=True, set_index=set_index, way=way)
+
+        # Miss: fill into an invalid allowed way if one exists, else evict.
+        evicted_line: Optional[int] = None
+        invalid_allowed = [
+            w
+            for w in range(geo.num_ways)
+            if (fill_mask >> w) & 1 and row[w] == self.INVALID_TAG
+        ]
+        if invalid_allowed:
+            way = invalid_allowed[0]
+        else:
+            way = self._policy.victim(set_index, fill_mask)
+            old_tag = int(row[way])
+            if old_tag != self.INVALID_TAG:
+                evicted_line = geo.line_id_of(set_index, old_tag)
+                self.stats.evictions += 1
+                if self._eviction_callback is not None:
+                    self._eviction_callback(evicted_line)
+        row[way] = tag
+        self._owner_cos[set_index, way] = cos
+        self._policy.touch(set_index, way)
+        self.stats.record(cos, hit=False)
+        return AccessResult(
+            hit=False, set_index=set_index, way=way, evicted_line=evicted_line
+        )
+
+    def access_many(
+        self, paddrs: np.ndarray, mask: Optional[int] = None, cos: int = 0
+    ) -> int:
+        """Run a batch of accesses; returns the number of hits.
+
+        This is the hot path for the exact-model experiments.  It iterates in
+        Python (LRU is inherently sequential) but avoids per-access object
+        construction.
+        """
+        geo = self.geometry
+        fill_mask = self._full_mask if mask is None else self.validate_mask(mask)
+        set_indices = geo.set_indices(paddrs)
+        tags = geo.tags(paddrs)
+        tag_array = self._tags
+        policy = self._policy
+        hits = 0
+        nways = geo.num_ways
+        allowed = [w for w in range(nways) if (fill_mask >> w) & 1]
+        for i in range(len(paddrs)):
+            s = int(set_indices[i])
+            t = int(tags[i])
+            row = tag_array[s]
+            way = -1
+            for w in range(nways):
+                if row[w] == t:
+                    way = w
+                    break
+            if way >= 0:
+                policy.touch(s, way)
+                hits += 1
+                continue
+            fill_way = -1
+            for w in allowed:
+                if row[w] == self.INVALID_TAG:
+                    fill_way = w
+                    break
+            if fill_way < 0:
+                fill_way = policy.victim(s, fill_mask)
+                old_tag = int(row[fill_way])
+                if old_tag != self.INVALID_TAG:
+                    self.stats.evictions += 1
+                    if self._eviction_callback is not None:
+                        self._eviction_callback(geo.line_id_of(s, old_tag))
+            row[fill_way] = t
+            self._owner_cos[s, fill_way] = cos
+            policy.touch(s, fill_way)
+        misses = len(paddrs) - hits
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self.stats.per_cos_hits[cos] = self.stats.per_cos_hits.get(cos, 0) + hits
+        self.stats.per_cos_misses[cos] = self.stats.per_cos_misses.get(cos, 0) + misses
+        return hits
+
+    # -- maintenance ----------------------------------------------------------
+
+    def flush_ways(self, mask: int) -> int:
+        """Invalidate every line in the masked ways; returns lines dropped.
+
+        Models the paper's user-level "cache-way flush" helper used after an
+        allocation change (Intel has no per-way flush instruction).
+        """
+        self.validate_mask(mask)
+        dropped = 0
+        geo = self.geometry
+        for way in range(geo.num_ways):
+            if not (mask >> way) & 1:
+                continue
+            col = self._tags[:, way]
+            valid = np.nonzero(col != self.INVALID_TAG)[0]
+            if self._eviction_callback is not None:
+                for s in valid:
+                    self._eviction_callback(geo.line_id_of(int(s), int(col[s])))
+            dropped += int(valid.size)
+            col.fill(self.INVALID_TAG)
+            self._owner_cos[:, way].fill(-1)
+        return dropped
+
+    def occupancy_by_cos(self) -> Dict[int, int]:
+        """Lines currently resident, keyed by the COS that filled them.
+
+        This is the same signal Intel CMT (Cache Monitoring Technology)
+        reports as LLC occupancy.
+        """
+        valid = self._tags != self.INVALID_TAG
+        out: Dict[int, int] = {}
+        cos_values, counts = np.unique(self._owner_cos[valid], return_counts=True)
+        for cos, count in zip(cos_values, counts):
+            out[int(cos)] = int(count)
+        return out
+
+    def resident_lines(self) -> int:
+        """Total valid lines in the cache."""
+        return int(np.count_nonzero(self._tags != self.INVALID_TAG))
+
+    def contains_line(self, line_id: int) -> bool:
+        """True if the physical line id is resident (for inclusivity checks)."""
+        geo = self.geometry
+        set_index = line_id % geo.num_sets
+        tag = line_id // geo.num_sets
+        return bool(np.any(self._tags[set_index] == tag))

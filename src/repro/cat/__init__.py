@@ -1,0 +1,45 @@
+"""Intel CAT analog: COS table, pqos-style API, resctrl frontend, layout."""
+
+from repro.cat.cat import CacheAllocationTechnology
+from repro.cat.cmt import CacheMonitoringTechnology, CmtReading
+from repro.cat.cos import (
+    MAX_COS,
+    ClassOfService,
+    contiguous_mask,
+    is_contiguous,
+    mask_way_count,
+    mask_ways,
+    validate_cbm,
+)
+from repro.cat.layout import LayoutResult, pack_contiguous
+from repro.cat.pqos import PqosCapability, PqosL3Ca, PqosLibrary
+from repro.cat.resctrl import (
+    ResctrlError,
+    ResctrlFilesystem,
+    ResctrlGroup,
+    format_cpu_list,
+    parse_cpu_list,
+)
+
+__all__ = [
+    "CacheAllocationTechnology",
+    "CacheMonitoringTechnology",
+    "CmtReading",
+    "MAX_COS",
+    "ClassOfService",
+    "contiguous_mask",
+    "is_contiguous",
+    "mask_way_count",
+    "mask_ways",
+    "validate_cbm",
+    "LayoutResult",
+    "pack_contiguous",
+    "PqosCapability",
+    "PqosL3Ca",
+    "PqosLibrary",
+    "ResctrlError",
+    "ResctrlFilesystem",
+    "ResctrlGroup",
+    "format_cpu_list",
+    "parse_cpu_list",
+]

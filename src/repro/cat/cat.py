@@ -1,0 +1,130 @@
+"""The CAT device model: COS table plus core-to-COS association.
+
+This is the "hardware" side of cache allocation.  Controllers never touch it
+directly — they go through :class:`repro.cat.pqos.PqosLibrary` or the
+resctrl frontend, both of which program this device, mirroring how the real
+dCat daemon drives MSR writes through the pqos library.
+
+Observers (the platform simulator, an exact LLC model) subscribe to mask
+changes so allocation updates take effect on the modeled cache immediately,
+the way an IA32_L3_MASK_n write takes effect on real silicon.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cat.cos import MAX_COS, validate_cbm
+
+__all__ = ["CacheAllocationTechnology"]
+
+MaskListener = Callable[[int, int], None]  # (cos_id, new_mask)
+AssocListener = Callable[[int, int], None]  # (core, cos_id)
+
+
+class CacheAllocationTechnology:
+    """CAT state for one L3 cache.
+
+    Args:
+        num_ways: LLC associativity (CBM width).
+        num_cores: Cores on the socket (association table size).
+        num_cos: Supported classes of service (16 on the paper's parts).
+        min_cbm_bits: Minimum bits per CBM (1 on the paper's parts).
+    """
+
+    def __init__(
+        self,
+        num_ways: int,
+        num_cores: int,
+        num_cos: int = MAX_COS,
+        min_cbm_bits: int = 1,
+    ) -> None:
+        if num_cos < 1 or num_cos > MAX_COS:
+            raise ValueError(f"num_cos must be in [1, {MAX_COS}]")
+        if num_ways < 1 or num_cores < 1:
+            raise ValueError("need at least one way and one core")
+        self.num_ways = num_ways
+        self.num_cores = num_cores
+        self.num_cos = num_cos
+        self.min_cbm_bits = min_cbm_bits
+        full = (1 << num_ways) - 1
+        # Power-on state: every COS maps the full cache, every core in COS0.
+        self._cos_masks: List[int] = [full] * num_cos
+        self._core_cos: List[int] = [0] * num_cores
+        self._mask_listeners: List[MaskListener] = []
+        self._assoc_listeners: List[AssocListener] = []
+
+    # -- observers ----------------------------------------------------------
+
+    def on_mask_change(self, listener: MaskListener) -> None:
+        """Subscribe to COS mask updates."""
+        self._mask_listeners.append(listener)
+
+    def on_assoc_change(self, listener: AssocListener) -> None:
+        """Subscribe to core association updates."""
+        self._assoc_listeners.append(listener)
+
+    # -- programming ----------------------------------------------------------
+
+    def set_cos_mask(self, cos_id: int, mask: int) -> None:
+        """Program a COS capacity bitmask (validated against hardware rules)."""
+        self._check_cos(cos_id)
+        validate_cbm(mask, self.num_ways, self.min_cbm_bits)
+        if self._cos_masks[cos_id] == mask:
+            return
+        self._cos_masks[cos_id] = mask
+        for listener in self._mask_listeners:
+            listener(cos_id, mask)
+
+    def associate_core(self, core: int, cos_id: int) -> None:
+        """Point a core's IA32_PQR_ASSOC at a COS."""
+        self._check_core(core)
+        self._check_cos(cos_id)
+        if self._core_cos[core] == cos_id:
+            return
+        self._core_cos[core] = cos_id
+        for listener in self._assoc_listeners:
+            listener(core, cos_id)
+
+    def reset(self) -> None:
+        """Restore power-on state (all COS full-mask, all cores to COS0)."""
+        full = (1 << self.num_ways) - 1
+        for cos_id in range(self.num_cos):
+            self.set_cos_mask(cos_id, full)
+        for core in range(self.num_cores):
+            self.associate_core(core, 0)
+
+    # -- queries ----------------------------------------------------------------
+
+    def cos_mask(self, cos_id: int) -> int:
+        self._check_cos(cos_id)
+        return self._cos_masks[cos_id]
+
+    def core_cos(self, core: int) -> int:
+        self._check_core(core)
+        return self._core_cos[core]
+
+    def effective_mask(self, core: int) -> int:
+        """The way mask governing this core's LLC fills right now."""
+        return self._cos_masks[self.core_cos(core)]
+
+    def masks_overlap(self, cos_a: int, cos_b: int) -> bool:
+        """True if two classes share any way (dCat avoids this by policy)."""
+        return bool(self.cos_mask(cos_a) & self.cos_mask(cos_b))
+
+    def snapshot(self) -> Dict[str, object]:
+        """Debug/reporting snapshot of the full CAT state."""
+        return {
+            "cos_masks": list(self._cos_masks),
+            "core_cos": list(self._core_cos),
+        }
+
+    # -- guards -----------------------------------------------------------------
+
+    def _check_cos(self, cos_id: int) -> None:
+        if not 0 <= cos_id < self.num_cos:
+            raise ValueError(f"cos_id {cos_id} out of range [0, {self.num_cos})")
+
+    def _check_core(self, core: int) -> None:
+        if not 0 <= core < self.num_cores:
+            raise ValueError(f"core {core} out of range [0, {self.num_cores})")

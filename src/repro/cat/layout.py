@@ -1,0 +1,92 @@
+"""Contiguous way-layout packing for CAT masks.
+
+dCat decides *how many* ways each workload should own; real CAT additionally
+requires each class's mask to be a *contiguous* bit run, and dCat's isolation
+guarantee requires the runs not to overlap.  Turning a ``{workload: ways}``
+plan into concrete masks is therefore a small packing problem, solved here
+with a movement-minimizing heuristic: workloads keep their previous starting
+position when possible, because every way that changes hands invalidates warm
+lines (the paper flushes reassigned ways with a helper program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.cat.cos import contiguous_mask, mask_way_count, mask_ways
+
+__all__ = ["LayoutResult", "pack_contiguous"]
+
+
+@dataclass
+class LayoutResult:
+    """Outcome of a packing round.
+
+    Attributes:
+        masks: Final contiguous, non-overlapping mask per workload.
+        moved: Workloads whose span shifted (their old ways should be
+            flushed to bound cross-tenant leakage).
+        free_mask: Ways left unowned (the free pool).
+    """
+
+    masks: Dict[Hashable, int]
+    moved: List[Hashable]
+    free_mask: int
+
+    def way_counts(self) -> Dict[Hashable, int]:
+        return {k: mask_way_count(m) for k, m in self.masks.items()}
+
+
+def pack_contiguous(
+    way_counts: Mapping[Hashable, int],
+    num_ways: int,
+    previous: Optional[Mapping[Hashable, int]] = None,
+) -> LayoutResult:
+    """Pack per-workload way counts into contiguous, disjoint masks.
+
+    Args:
+        way_counts: Desired number of ways per workload (each >= 1).
+        num_ways: Total ways on the socket.
+        previous: Last round's masks, used to keep placements stable.
+
+    Raises:
+        ValueError: If the demands exceed ``num_ways`` or any count is < 1.
+
+    The heuristic: order workloads by their previous starting way (new
+    workloads go last, in deterministic key order) and lay the runs down
+    left-to-right.  A workload whose size and neighborhood did not change
+    lands exactly where it was, so steady-state rounds move nothing.
+    """
+    total = sum(way_counts.values())
+    if total > num_ways:
+        raise ValueError(f"demand of {total} ways exceeds socket's {num_ways}")
+    for wid, count in way_counts.items():
+        if count < 1:
+            raise ValueError(f"workload {wid!r} assigned {count} ways (minimum is 1)")
+
+    previous = previous or {}
+
+    def sort_key(wid: Hashable) -> Tuple[int, str]:
+        prev_mask = previous.get(wid)
+        if prev_mask:
+            return (mask_ways(prev_mask)[0], str(wid))
+        return (num_ways, str(wid))  # new workloads pack at the end
+
+    order = sorted(way_counts, key=sort_key)
+    masks: Dict[Hashable, int] = {}
+    moved: List[Hashable] = []
+    cursor = 0
+    for wid in order:
+        count = way_counts[wid]
+        mask = contiguous_mask(cursor, count)
+        masks[wid] = mask
+        if previous.get(wid) is not None and previous[wid] != mask:
+            moved.append(wid)
+        cursor += count
+
+    used = 0
+    for mask in masks.values():
+        used |= mask
+    free_mask = ((1 << num_ways) - 1) & ~used
+    return LayoutResult(masks=masks, moved=moved, free_mask=free_mask)

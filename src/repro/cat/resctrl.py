@@ -1,0 +1,217 @@
+"""In-memory Linux ``resctrl`` filesystem frontend over the CAT device.
+
+The paper's prototype predates mainline resctrl and drives CAT via pqos, but
+a modern deployment of dCat would mount ``/sys/fs/resctrl`` and manage
+control groups — the reproduction-band notes call this the natural control
+path.  This module models the filesystem's contract precisely enough that a
+controller written against it would port to the real thing:
+
+* ``mkdir <group>`` allocates a CLOSID (fails with "no space" when the 16
+  classes are exhausted);
+* writing ``schemata`` lines like ``L3:0=3f`` programs the CBM (the kernel
+  rejects empty or non-contiguous masks, as we do);
+* writing ``cpus_list`` moves cores into the group (removing them from every
+  other group, default group included);
+* ``size`` reports the bytes of cache the schemata grants;
+* ``info/L3/{cbm_mask,min_cbm_bits,num_closids}`` describe the hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.cat.cat import CacheAllocationTechnology
+from repro.cat.cos import mask_way_count
+
+__all__ = ["ResctrlError", "ResctrlGroup", "ResctrlFilesystem", "parse_cpu_list", "format_cpu_list"]
+
+
+class ResctrlError(OSError):
+    """Filesystem-style error (message mirrors kernel errno text)."""
+
+
+def parse_cpu_list(text: str) -> Set[int]:
+    """Parse a kernel cpu-list string ("0-3,8,10-11") into a set of ids."""
+    cpus: Set[int] = set()
+    text = text.strip()
+    if not text:
+        return cpus
+    for part in text.split(","):
+        part = part.strip()
+        if "-" in part:
+            lo_s, hi_s = part.split("-", 1)
+            lo, hi = int(lo_s), int(hi_s)
+            if hi < lo:
+                raise ResctrlError(f"invalid cpu range {part!r}")
+            cpus.update(range(lo, hi + 1))
+        else:
+            cpus.add(int(part))
+    return cpus
+
+
+def format_cpu_list(cpus: Set[int]) -> str:
+    """Format a set of cpu ids as a kernel cpu-list string."""
+    if not cpus:
+        return ""
+    ordered = sorted(cpus)
+    runs: List[List[int]] = [[ordered[0], ordered[0]]]
+    for cpu in ordered[1:]:
+        if cpu == runs[-1][1] + 1:
+            runs[-1][1] = cpu
+        else:
+            runs.append([cpu, cpu])
+    return ",".join(f"{lo}-{hi}" if hi > lo else f"{lo}" for lo, hi in runs)
+
+
+@dataclass
+class ResctrlGroup:
+    """One control group: a CLOSID plus its member cpus."""
+
+    name: str
+    closid: int
+    cpus: Set[int] = field(default_factory=set)
+
+
+class ResctrlFilesystem:
+    """The mounted filesystem: a root group plus named control groups.
+
+    Args:
+        cat: CAT device to program.
+        way_size_bytes: Per-way capacity for the ``size`` file.
+        cache_id: L3 cache id used in schemata lines (one-socket model: 0).
+    """
+
+    ROOT = ""
+
+    def __init__(
+        self,
+        cat: CacheAllocationTechnology,
+        way_size_bytes: int,
+        cache_id: int = 0,
+    ) -> None:
+        self._cat = cat
+        self._way_size = way_size_bytes
+        self._cache_id = cache_id
+        root = ResctrlGroup(
+            name=self.ROOT, closid=0, cpus=set(range(cat.num_cores))
+        )
+        self._groups: Dict[str, ResctrlGroup] = {self.ROOT: root}
+
+    # -- directory operations ----------------------------------------------
+
+    def mkdir(self, name: str) -> ResctrlGroup:
+        """Create a control group; allocates the lowest free CLOSID."""
+        if not name or "/" in name:
+            raise ResctrlError(f"invalid group name {name!r}")
+        if name in self._groups:
+            raise ResctrlError(f"mkdir: {name}: File exists")
+        used = {g.closid for g in self._groups.values()}
+        free = [c for c in range(self._cat.num_cos) if c not in used]
+        if not free:
+            raise ResctrlError("mkdir: No space left on device (out of CLOSIDs)")
+        group = ResctrlGroup(name=name, closid=free[0])
+        self._groups[name] = group
+        return group
+
+    def rmdir(self, name: str) -> None:
+        """Remove a group; its cpus fall back to the default group."""
+        if name == self.ROOT:
+            raise ResctrlError("rmdir: cannot remove the default group")
+        group = self._group(name)
+        root = self._groups[self.ROOT]
+        for cpu in group.cpus:
+            root.cpus.add(cpu)
+            self._cat.associate_core(cpu, root.closid)
+        del self._groups[name]
+
+    def groups(self) -> List[str]:
+        """Names of all non-root groups (directory listing)."""
+        return sorted(g for g in self._groups if g != self.ROOT)
+
+    # -- file operations -------------------------------------------------------
+
+    def write(self, path: str, data: str) -> None:
+        """Write a control file (``<group>/schemata`` or ``<group>/cpus_list``)."""
+        group_name, fname = self._split(path)
+        group = self._group(group_name)
+        if fname == "schemata":
+            self._write_schemata(group, data)
+        elif fname in ("cpus", "cpus_list"):
+            self._write_cpus(group, data)
+        else:
+            raise ResctrlError(f"write: {path}: Permission denied")
+
+    def read(self, path: str) -> str:
+        """Read a control or info file."""
+        if path.startswith("info/"):
+            return self._read_info(path)
+        group_name, fname = self._split(path)
+        group = self._group(group_name)
+        if fname == "schemata":
+            mask = self._cat.cos_mask(group.closid)
+            return f"L3:{self._cache_id}={mask:x}\n"
+        if fname in ("cpus", "cpus_list"):
+            return format_cpu_list(group.cpus) + "\n"
+        if fname == "size":
+            ways = mask_way_count(self._cat.cos_mask(group.closid))
+            return f"L3:{self._cache_id}={ways * self._way_size}\n"
+        raise ResctrlError(f"read: {path}: No such file")
+
+    # -- internals -----------------------------------------------------------------
+
+    def _split(self, path: str):
+        path = path.strip("/")
+        if "/" not in path:
+            return self.ROOT, path
+        group, fname = path.rsplit("/", 1)
+        return group, fname
+
+    def _group(self, name: str) -> ResctrlGroup:
+        try:
+            return self._groups[name]
+        except KeyError:
+            raise ResctrlError(f"{name}: No such directory") from None
+
+    def _write_schemata(self, group: ResctrlGroup, data: str) -> None:
+        for line in data.strip().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            if not line.upper().startswith("L3:"):
+                raise ResctrlError(f"schemata: unsupported resource in {line!r}")
+            body = line[3:]
+            for clause in body.split(";"):
+                cache_s, mask_s = clause.split("=", 1)
+                if int(cache_s) != self._cache_id:
+                    raise ResctrlError(f"schemata: unknown cache id {cache_s}")
+                try:
+                    mask = int(mask_s, 16)
+                    self._cat.set_cos_mask(group.closid, mask)
+                except ValueError as exc:
+                    raise ResctrlError(f"schemata: Invalid argument ({exc})") from None
+
+    def _write_cpus(self, group: ResctrlGroup, data: str) -> None:
+        cpus = parse_cpu_list(data)
+        for cpu in cpus:
+            if not 0 <= cpu < self._cat.num_cores:
+                raise ResctrlError(f"cpus: cpu {cpu} does not exist")
+        # The kernel moves cpus: remove from every other group first.
+        for other in self._groups.values():
+            if other is not group:
+                other.cpus -= cpus
+        group.cpus = set(cpus)
+        for cpu in cpus:
+            self._cat.associate_core(cpu, group.closid)
+
+    def _read_info(self, path: str) -> str:
+        full_mask = (1 << self._cat.num_ways) - 1
+        files = {
+            "info/L3/cbm_mask": f"{full_mask:x}\n",
+            "info/L3/min_cbm_bits": f"{self._cat.min_cbm_bits}\n",
+            "info/L3/num_closids": f"{self._cat.num_cos}\n",
+        }
+        try:
+            return files[path]
+        except KeyError:
+            raise ResctrlError(f"read: {path}: No such file") from None

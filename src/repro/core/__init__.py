@@ -1,0 +1,31 @@
+"""dCat core: the dynamic cache-allocation controller (the paper's contribution)."""
+
+from repro.core.allocation import AllocationInput, optimize_way_split, plan_allocation
+from repro.core.classifier import Decision, categorize
+from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.controller import DCatController, StepResult, WorkloadStatus
+from repro.core.perftable import PerformanceTable, PhaseTable
+from repro.core.phase import PhaseDetector, PhaseSignature
+from repro.core.states import ALLOWED_TRANSITIONS, WorkloadState, can_transition
+from repro.core.stats import WorkloadRecord
+
+__all__ = [
+    "AllocationInput",
+    "optimize_way_split",
+    "plan_allocation",
+    "Decision",
+    "categorize",
+    "AllocationPolicy",
+    "DCatConfig",
+    "DCatController",
+    "StepResult",
+    "WorkloadStatus",
+    "PerformanceTable",
+    "PhaseTable",
+    "PhaseDetector",
+    "PhaseSignature",
+    "ALLOWED_TRANSITIONS",
+    "WorkloadState",
+    "can_transition",
+    "WorkloadRecord",
+]

@@ -1,0 +1,327 @@
+"""DCatController: the five-step control loop (paper Fig. 4).
+
+Once per interval the controller runs, per managed workload:
+
+1. **Collect Statistics** — sample the workload's cores through the
+   MSR-style perf-counter substrate and aggregate.
+2. **Detect Phase Change** — feed memory-accesses-per-instruction to the
+   phase detector.
+3. **Get Baseline** — on a phase change, either jump straight to the
+   phase's known preferred allocation (performance-table reuse, Fig. 12) or
+   Reclaim to the reserved baseline so the phase's baseline IPC can be
+   measured.
+4. **Categorize Workloads** — run the Fig. 6 state machine.
+5. **Allocate Cache** — arbitrate the free pool (reclaim first, Unknown
+   before Receiver), apply the configured policy, pack the result into
+   contiguous non-overlapping CAT masks, and program them through the
+   pqos-style API.
+
+The controller is backend-agnostic: it sees only a ``PqosLibrary``-shaped
+allocator and a ``PerfMonitor``-shaped sampler, so the same code drives the
+simulated platform here and would drive ``/dev/cpu/*/msr`` + libpqos (or
+resctrl) on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cat.layout import pack_contiguous
+from repro.cat.pqos import PqosL3Ca, PqosLibrary
+from repro.core.allocation import AllocationInput, plan_allocation
+from repro.core.classifier import Decision, categorize, _improvement
+from repro.core.config import DCatConfig
+from repro.core.states import WorkloadState
+from repro.core.stats import WorkloadRecord
+from repro.core.phase import PhaseDetector
+from repro.hwcounters.perfmon import CounterSample, PerfMonitor
+
+__all__ = ["WorkloadStatus", "StepResult", "DCatController"]
+
+
+@dataclass(frozen=True)
+class WorkloadStatus:
+    """One workload's externally visible status after a control step."""
+
+    workload_id: str
+    state: WorkloadState
+    ways: int
+    ipc: float
+    normalized_ipc: Optional[float]
+    llc_miss_rate: float
+    phase_changed: bool
+    sample: CounterSample
+
+
+@dataclass
+class StepResult:
+    """Everything one control step decided (for timelines and debugging)."""
+
+    time_s: float
+    statuses: Dict[str, WorkloadStatus] = field(default_factory=dict)
+    free_ways: int = 0
+    moved_workloads: List[str] = field(default_factory=list)
+
+
+class DCatController:
+    """The dCat daemon.
+
+    Args:
+        pqos: Allocation backend (pqos-style API over CAT).
+        perfmon: Counter sampling backend.
+        config: Thresholds and policy.
+        nominal_cycles_per_core: Unhalted cycles a fully busy core retires
+            per interval (for idle detection).
+        flush_callback: Optional hook invoked with the way mask of every
+            span that changed owners, modeling the paper's user-level
+            way-flush helper.
+    """
+
+    def __init__(
+        self,
+        pqos: PqosLibrary,
+        perfmon: PerfMonitor,
+        config: Optional[DCatConfig] = None,
+        nominal_cycles_per_core: int = 2_000_000,
+        flush_callback: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.pqos = pqos
+        self.perfmon = perfmon
+        self.config = config if config is not None else DCatConfig()
+        self.nominal_cycles_per_core = nominal_cycles_per_core
+        self.flush_callback = flush_callback
+        cap = pqos.cap_get()
+        self.total_ways = cap.num_ways
+        self._max_cos = cap.num_cos
+        self._records: Dict[str, WorkloadRecord] = {}
+        self._masks: Dict[str, int] = {}
+        self._pool_empty = False
+        self._time_s = 0.0
+        self.history: List[StepResult] = []
+
+    # -- registration ----------------------------------------------------------
+
+    def register_workload(
+        self, workload_id: str, cores: Sequence[int], baseline_ways: int
+    ) -> WorkloadRecord:
+        """Start managing a workload (a VM / container / tenant).
+
+        Assigns the next free class of service and associates the cores.
+        """
+        if workload_id in self._records:
+            raise ValueError(f"workload {workload_id!r} already registered")
+        cos_id = len(self._records) + 1  # COS0 stays the unmanaged default
+        if cos_id >= self._max_cos:
+            raise ValueError(
+                f"CAT supports {self._max_cos} classes; cannot isolate more "
+                f"than {self._max_cos - 1} workloads"
+            )
+        record = WorkloadRecord(
+            workload_id=workload_id,
+            cores=tuple(cores),
+            cos_id=cos_id,
+            baseline_ways=baseline_ways,
+            detector=PhaseDetector(threshold=self.config.phase_change_thr),
+        )
+        self._records[workload_id] = record
+        for core in cores:
+            self.pqos.alloc_assoc_set(core, cos_id)
+        return record
+
+    @property
+    def records(self) -> Dict[str, WorkloadRecord]:
+        return self._records
+
+    def initialize(self) -> None:
+        """Program every workload's reserved baseline (static-CAT start)."""
+        plan = {
+            wid: rec.baseline_ways for wid, rec in self._records.items()
+        }
+        inputs = [
+            AllocationInput(
+                workload_id=wid,
+                state=WorkloadState.KEEPER,
+                target_ways=rec.baseline_ways,
+                grow_request=0,
+                baseline_ways=rec.baseline_ways,
+            )
+            for wid, rec in self._records.items()
+        ]
+        plan = plan_allocation(inputs, self.total_ways, self.config)
+        self._apply_plan(plan)
+        for wid, rec in self._records.items():
+            rec.ways = plan[wid]
+            rec.prev_ways = plan[wid]
+
+    # -- the control loop ----------------------------------------------------------
+
+    def step(self) -> StepResult:
+        """Run one control interval; returns what was observed and decided."""
+        config = self.config
+        result = StepResult(time_s=self._time_s)
+        decisions: Dict[str, Decision] = {}
+        reclaiming: Dict[str, bool] = {}
+        samples: Dict[str, CounterSample] = {}
+        changed_flags: Dict[str, bool] = {}
+
+        for wid, rec in self._records.items():
+            sample = self.perfmon.sample_cores(rec.cores)
+            samples[wid] = sample
+
+            # Idle detection: the cores barely ran this interval.
+            busy_budget = self.nominal_cycles_per_core * len(rec.cores)
+            rec.idle = sample.cycles < config.idle_cycles_fraction * busy_budget
+
+            changed = rec.detector.observe(sample.mem_refs_per_instr, idle=rec.idle)
+            changed_flags[wid] = changed
+            # Keep the signature synced every interval: the first-ever
+            # observation establishes a phase without flagging a change.
+            rec.signature = rec.detector.current_signature
+
+            if changed:
+                rec.reset_phase_state()
+                decisions[wid], reclaiming[wid] = self._phase_change_decision(rec)
+            else:
+                self._record_performance(rec, sample)
+                self._update_unknown_bookkeeping(rec, sample)
+                decision = categorize(rec, sample, config, self._pool_empty)
+                if (
+                    decision.state is WorkloadState.UNKNOWN
+                    and rec.shrunk_last_round
+                    and rec.state is WorkloadState.DONOR
+                ):
+                    # The shrink we just made provoked misses; remember the
+                    # floor so this phase is not probed again.
+                    rec.donor_floor_ways = rec.prev_ways
+                decisions[wid] = decision
+                reclaiming[wid] = False
+
+        # -- allocate ---------------------------------------------------------
+        inputs = [
+            AllocationInput(
+                workload_id=wid,
+                state=decisions[wid].state,
+                target_ways=decisions[wid].target_ways,
+                grow_request=decisions[wid].grow_request,
+                baseline_ways=self._records[wid].baseline_ways,
+                reclaiming=reclaiming[wid],
+                phase_table=self._records[wid].table.known_phase(
+                    self._records[wid].signature
+                ),
+            )
+            for wid in self._records
+        ]
+        plan = plan_allocation(inputs, self.total_ways, config)
+        moved = self._apply_plan(plan)
+        result.moved_workloads = moved
+        free = self.total_ways - sum(plan.values())
+        self._pool_empty = free <= 0
+        result.free_ways = free
+
+        # -- commit records and statuses ------------------------------------------
+        for wid, rec in self._records.items():
+            sample = samples[wid]
+            decision = decisions[wid]
+            if (
+                decision.state is WorkloadState.KEEPER
+                and rec.state in (WorkloadState.UNKNOWN, WorkloadState.RECEIVER)
+            ):
+                rec.growth_ceiling_ways = rec.ways
+                rec.growth_ceiling_miss_rate = sample.llc_miss_rate
+            elif decision.state is WorkloadState.UNKNOWN:
+                # A fresh growth episode invalidates the old stop point.
+                rec.growth_ceiling_ways = 0
+                rec.growth_ceiling_miss_rate = 0.0
+            rec.prev_ways = rec.ways
+            rec.ways = plan[wid]
+            rec.state = decision.state
+            rec.last_sample = sample
+            rec.last_ipc = sample.ipc
+            table = rec.table.known_phase(rec.signature)
+            baseline_ipc = table.baseline_ipc if table else None
+            result.statuses[wid] = WorkloadStatus(
+                workload_id=wid,
+                state=decision.state,
+                ways=plan[wid],
+                ipc=sample.ipc,
+                normalized_ipc=(
+                    sample.ipc / baseline_ipc if baseline_ipc else None
+                ),
+                llc_miss_rate=sample.llc_miss_rate,
+                phase_changed=changed_flags[wid],
+                sample=sample,
+            )
+
+        self._time_s += config.interval_s
+        self.history.append(result)
+        return result
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _phase_change_decision(
+        self, rec: WorkloadRecord
+    ) -> Tuple[Decision, bool]:
+        """Reclaim to baseline, or jump to a known phase's preferred ways."""
+        if rec.signature.idle:
+            # The workload went quiet; it will be classified Donor next
+            # interval, but return it to the minimum right away.
+            return Decision(WorkloadState.DONOR, self.config.min_ways), False
+        if self.config.use_performance_table:
+            table = rec.table.known_phase(rec.signature)
+            if table is not None:
+                preferred = table.preferred_ways()
+                if preferred is not None:
+                    return (
+                        Decision(WorkloadState.KEEPER, preferred),
+                        False,
+                    )
+        return Decision(WorkloadState.RECLAIM, rec.baseline_ways), True
+
+    def _record_performance(self, rec: WorkloadRecord, sample: CounterSample) -> None:
+        """Feed this interval's IPC into the phase's performance table."""
+        if rec.signature.idle or rec.idle or sample.ipc <= 0:
+            return
+        phase_table = rec.table.phase(rec.signature)
+        if rec.ways == rec.baseline_ways:
+            phase_table.record_baseline(sample.ipc)
+        phase_table.record(rec.ways, sample.ipc)
+
+    def _update_unknown_bookkeeping(
+        self, rec: WorkloadRecord, sample: CounterSample
+    ) -> None:
+        """Count grants that failed to improve an Unknown workload."""
+        if rec.state is not WorkloadState.UNKNOWN:
+            return
+        if not rec.got_grant_last_round:
+            return
+        gain = _improvement(rec, sample)
+        if gain is None or gain < self.config.ipc_imp_thr:
+            rec.unknown_grants += 1
+        else:
+            rec.unknown_grants = 0
+
+    def _apply_plan(self, plan: Dict[str, int]) -> List[str]:
+        """Pack the plan into contiguous masks and program the hardware."""
+        layout = pack_contiguous(plan, self.total_ways, previous=self._masks)
+        entries = []
+        for wid, mask in layout.masks.items():
+            rec = self._records[wid]
+            entries.append(PqosL3Ca(cos_id=rec.cos_id, ways_mask=mask))
+        self.pqos.l3ca_set(entries)
+        if self.config.flush_reassigned_ways and self.flush_callback is not None:
+            for wid in layout.moved:
+                self.flush_callback(layout.masks[wid])
+        self._masks = dict(layout.masks)
+        return list(layout.moved)
+
+    # -- introspection ------------------------------------------------------------
+
+    def mask_of(self, workload_id: str) -> int:
+        return self._masks[workload_id]
+
+    def ways_of(self, workload_id: str) -> int:
+        return self._records[workload_id].ways
+
+    def state_of(self, workload_id: str) -> WorkloadState:
+        return self._records[workload_id].state

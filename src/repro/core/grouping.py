@@ -1,0 +1,137 @@
+"""Tenant grouping: managing more workloads than CAT has classes.
+
+The paper's Discussion lists a hard limit: "Intel Xeon processors currently
+support up to 16 COS, thus the isolated VMs/containers per socket can not
+exceed 16" (one class stays reserved for the unmanaged default, so 15
+tenants).  This module implements the natural extension the paper leaves to
+future work: when more tenants than classes exist, tenants with *similar
+cache behaviour* share a class of service.
+
+Grouping preserves dCat's structure: Donors cost one way whether there is
+one of them or five, so donor-like tenants are packed together first;
+cache-hungry tenants get classes of their own for as long as classes last,
+because their allocations are the ones the controller actively resizes.
+The grouper re-evaluates as behaviour changes, with hysteresis so tenants
+do not bounce between groups every interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence
+
+from repro.core.states import WorkloadState
+
+__all__ = ["GroupPlan", "TenantGrouper"]
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """The grouper's output: which tenants share which class slot.
+
+    Attributes:
+        groups: Slot index -> tenant ids sharing it (slot indices are
+            abstract; the controller maps them onto real COS ids).
+        slot_of: Tenant id -> slot index (the inverse view).
+    """
+
+    groups: Dict[int, List[str]]
+    slot_of: Dict[str, int]
+
+    @property
+    def num_slots(self) -> int:
+        return len(self.groups)
+
+
+# States that can share a slot without hurting anyone: they all sit at (or
+# shrink toward) the minimum allocation anyway.
+_POOLABLE = {WorkloadState.DONOR, WorkloadState.STREAMING}
+
+
+@dataclass
+class TenantGrouper:
+    """Assigns tenants to a bounded number of class slots.
+
+    Args:
+        max_slots: Class-of-service slots available to tenants (15 on the
+            paper's parts: 16 classes minus the unmanaged default).
+        stickiness: Re-planning keeps a tenant in its previous slot unless
+            its pooling eligibility changed — this field exists for tests
+            to disable that hysteresis.
+    """
+
+    max_slots: int = 15
+    stickiness: bool = True
+    _last_plan: Dict[str, int] = field(default_factory=dict)
+
+    def plan(
+        self,
+        states: Mapping[str, WorkloadState],
+        order: Sequence[str] | None = None,
+    ) -> GroupPlan:
+        """Produce a slot assignment for the given tenant states.
+
+        Tenants needing isolation (Keeper/Unknown/Receiver/Reclaim) get
+        dedicated slots first, in the given order (callers pass, e.g.,
+        most-cache-held-first).  Donor-like tenants share the last slot
+        when dedicated slots run out; if even the isolating tenants exceed
+        the slots, the overflow shares the final slot (a degradation the
+        operator is warned about via the plan shape).
+
+        With stickiness enabled (the default), tenants keep their previous
+        slots wherever the new plan's structure allows, so re-planning with
+        unchanged behaviour moves nobody.
+
+        Raises:
+            ValueError: If there are tenants but no slots.
+        """
+        tenants = list(order) if order is not None else sorted(states)
+        if not tenants:
+            return GroupPlan(groups={}, slot_of={})
+        if self.max_slots < 1:
+            raise ValueError("need at least one class slot")
+
+        if len(tenants) <= self.max_slots:
+            slot_of = self._assign_dedicated(
+                tenants, list(range(self.max_slots))
+            )
+        else:
+            pool_slot = self.max_slots - 1
+            isolating = [t for t in tenants if states[t] not in _POOLABLE]
+            poolable = [t for t in tenants if states[t] in _POOLABLE]
+            dedicated = isolating[: pool_slot]
+            overflow = isolating[pool_slot:]
+            slot_of = self._assign_dedicated(dedicated, list(range(pool_slot)))
+            for t in poolable + overflow:
+                slot_of[t] = pool_slot
+
+        self._last_plan = dict(slot_of)
+        groups: Dict[int, List[str]] = {}
+        for t, slot in slot_of.items():
+            groups.setdefault(slot, []).append(t)
+        return GroupPlan(groups=groups, slot_of=slot_of)
+
+    def _assign_dedicated(
+        self, tenants: Sequence[str], slots: List[int]
+    ) -> Dict[str, int]:
+        """Give each tenant its own slot, preferring last round's placement.
+
+        Two passes: returning tenants whose previous slot is in the allowed
+        set reclaim it first (previous plans were injective over dedicated
+        slots, so no two returners collide); everyone else fills the
+        remaining slots in order.
+        """
+        result: Dict[str, int] = {}
+        taken: set = set()
+        pending: List[str] = []
+        for t in tenants:
+            prev = self._last_plan.get(t) if self.stickiness else None
+            if prev is not None and prev in slots and prev not in taken:
+                result[t] = prev
+                taken.add(prev)
+            else:
+                pending.append(t)
+        free = [sl for sl in slots if sl not in taken]
+        for t, sl in zip(pending, free):
+            result[t] = sl
+        return result

@@ -1,0 +1,96 @@
+"""Per-workload runtime records kept by the controller.
+
+A :class:`WorkloadRecord` is everything dCat remembers about one workload
+between control intervals: its cores and COS, its reserved baseline, its
+current state and allocation, its phase detector and performance table, and
+the small amount of history the classifier needs (previous allocation,
+grants made while Unknown, the donor shrink floor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.perftable import PerformanceTable
+from repro.core.phase import PhaseDetector, PhaseSignature
+from repro.core.states import WorkloadState
+from repro.hwcounters.perfmon import CounterSample
+
+__all__ = ["WorkloadRecord"]
+
+
+@dataclass
+class WorkloadRecord:
+    """Controller-side record for one managed workload.
+
+    Attributes:
+        workload_id: Stable identifier (the VM / tenant name).
+        cores: Hardware threads the workload's vCPUs are pinned to.
+        cos_id: The CAT class of service assigned to those cores.
+        baseline_ways: Contracted (reserved) allocation — the performance
+            guarantee anchor.
+        state: Current Fig. 6 state.
+        ways: Allocation currently programmed.
+        prev_ways: Allocation during the *previous* interval, for
+            attributing IPC movement to grants.
+        detector: Phase-change detector.
+        table: Per-phase performance tables.
+        signature: Current phase signature.
+        last_sample: Previous interval's counters.
+        last_ipc: Previous interval's IPC.
+        unknown_grants: Ways granted since entering Unknown without a
+            confirmed improvement (streaming evidence).
+        donor_floor_ways: Shrink floor learned when a donor shrink caused
+            misses — prevents shrink/grow oscillation within a phase.
+        growth_ceiling_ways: Allocation at which growth stopped paying for
+            this phase (set on Unknown/Receiver -> Keeper).  A Keeper with a
+            high miss rate re-enters Unknown only below this ceiling, which
+            prevents grow/stop oscillation when gains are sub-threshold.
+        idle: Whether the workload was idle last interval.
+    """
+
+    workload_id: str
+    cores: Tuple[int, ...]
+    cos_id: int
+    baseline_ways: int
+    state: WorkloadState = WorkloadState.KEEPER
+    ways: int = 0
+    prev_ways: int = 0
+    detector: PhaseDetector = field(default_factory=PhaseDetector)
+    table: Optional[PerformanceTable] = None
+    signature: PhaseSignature = field(default_factory=PhaseSignature.idle_signature)
+    last_sample: Optional[CounterSample] = None
+    last_ipc: float = 0.0
+    unknown_grants: int = 0
+    donor_floor_ways: int = 0
+    growth_ceiling_ways: int = 0
+    growth_ceiling_miss_rate: float = 0.0
+    idle: bool = False
+
+    def __post_init__(self) -> None:
+        if self.baseline_ways < 1:
+            raise ValueError("baseline_ways must be >= 1")
+        if not self.cores:
+            raise ValueError("a workload needs at least one core")
+        if self.ways == 0:
+            self.ways = self.baseline_ways
+        if self.prev_ways == 0:
+            self.prev_ways = self.ways
+        if self.table is None:
+            self.table = PerformanceTable(self.baseline_ways)
+
+    def reset_phase_state(self) -> None:
+        """Clear per-phase learning on a phase change."""
+        self.unknown_grants = 0
+        self.donor_floor_ways = 0
+        self.growth_ceiling_ways = 0
+        self.growth_ceiling_miss_rate = 0.0
+
+    @property
+    def got_grant_last_round(self) -> bool:
+        return self.ways > self.prev_ways
+
+    @property
+    def shrunk_last_round(self) -> bool:
+        return self.ways < self.prev_ways

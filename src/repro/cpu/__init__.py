@@ -1,0 +1,6 @@
+"""CPU substrate: core timing model and socket topology."""
+
+from repro.cpu.coremodel import CoreActivity, CoreTimingModel, MemoryBehavior
+from repro.cpu.socket import SocketSpec
+
+__all__ = ["CoreActivity", "CoreTimingModel", "MemoryBehavior", "SocketSpec"]

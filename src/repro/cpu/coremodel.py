@@ -1,0 +1,195 @@
+"""Core timing model: turns memory behaviour into cycles, IPC and counters.
+
+dCat's only performance signal is IPC, and its cache signals are L1/LLC
+reference and miss counts.  The core model therefore has one job: given a
+workload's per-interval memory behaviour (references per instruction, L1
+miss ratio, achievable memory-level parallelism) and the LLC hit rate its
+current allocation yields, produce a mutually consistent set of counter
+increments — instructions, unhalted cycles, L1 refs, LLC refs, LLC misses —
+for the interval.
+
+The CPI decomposition is the standard in-order approximation used by, e.g.,
+roofline-style models:
+
+    CPI = base_cpi + refs_per_instr * l1_miss_rate * stall_per_llc_access
+
+where the average stall per LLC access blends the LLC hit latency and the
+(load-dependent) DRAM latency, divided by the workload's memory-level
+parallelism.  A dependent pointer chase (MLR) has MLP ~1 and is fully
+latency-bound; a hardware-prefetched stream (MLOAD) overlaps many misses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hwcounters.events import (
+    L1_CACHE_HITS,
+    L1_CACHE_MISSES,
+    LLC_MISSES,
+    LLC_REFERENCES,
+    PerfEvent,
+)
+from repro.mem.dram import DramModel
+
+__all__ = ["MemoryBehavior", "CoreActivity", "CoreTimingModel"]
+
+
+@dataclass(frozen=True)
+class MemoryBehavior:
+    """A workload phase's memory behaviour, as the core pipeline sees it.
+
+    Attributes:
+        refs_per_instr: L1 data references per retired instruction.  This is
+            the quantity dCat uses as its phase signature; it is a property
+            of the code, independent of cache allocation (paper Fig. 5).
+        l1_miss_ratio: Fraction of L1 references that miss to the LLC.
+        base_cpi: Cycles per instruction with all memory served by L1.
+        mlp: Memory-level parallelism — concurrent outstanding misses the
+            workload sustains (1 = fully dependent chain).
+        duty_cycle: Fraction of the interval the core is unhalted.
+    """
+
+    refs_per_instr: float = 0.25
+    l1_miss_ratio: float = 0.0
+    base_cpi: float = 0.5
+    mlp: float = 1.0
+    duty_cycle: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.refs_per_instr < 0:
+            raise ValueError("refs_per_instr cannot be negative")
+        if not 0.0 <= self.l1_miss_ratio <= 1.0:
+            raise ValueError("l1_miss_ratio must be within [0, 1]")
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.mlp < 1.0:
+            raise ValueError("mlp must be >= 1")
+        if not 0.0 <= self.duty_cycle <= 1.0:
+            raise ValueError("duty_cycle must be within [0, 1]")
+
+
+@dataclass(frozen=True)
+class CoreActivity:
+    """Counter increments for one core over one interval."""
+
+    instructions: int
+    cycles: int
+    event_counts: Dict[PerfEvent, int]
+    avg_mem_latency_cycles: float  # average latency per L1 data reference
+    llc_hit_rate: float
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class CoreTimingModel:
+    """Produces per-interval activity for one core.
+
+    Args:
+        cycles_per_interval: Unhalted cycles a fully busy core spends per
+            controller interval.  This is a *scaled* core (real Broadwell
+            retires ~2.3e9 cycles/s); scaling shrinks counter magnitudes
+            without touching any of the rates dCat consumes.
+        l1_latency: L1 hit latency in cycles (part of base_cpi; used only
+            for the reported average access latency).
+        llc_latency: LLC hit latency in cycles.
+        dram: DRAM model supplying load-dependent miss latency.
+        noise_sigma: Relative sigma of multiplicative lognormal noise on the
+            interval's CPI, so measured IPC jitters like real hardware and
+            the controller's thresholds are exercised honestly.
+        rng: Seeded generator for the noise.
+    """
+
+    def __init__(
+        self,
+        cycles_per_interval: int = 2_000_000,
+        l1_latency: float = 4.0,
+        llc_latency: float = 40.0,
+        dram: Optional[DramModel] = None,
+        noise_sigma: float = 0.005,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if cycles_per_interval < 1:
+            raise ValueError("cycles_per_interval must be positive")
+        self.cycles_per_interval = cycles_per_interval
+        self.l1_latency = l1_latency
+        self.llc_latency = llc_latency
+        self.dram = dram if dram is not None else DramModel()
+        self.noise_sigma = noise_sigma
+        self._rng = rng if rng is not None else np.random.default_rng(42)
+
+    # -- model -------------------------------------------------------------
+
+    def stall_per_llc_access(
+        self, llc_hit_rate: float, mlp: float, dram_latency: Optional[float] = None
+    ) -> float:
+        """Average pipeline stall cycles per LLC access."""
+        lat_dram = self.dram.idle_latency_cycles if dram_latency is None else dram_latency
+        blended = llc_hit_rate * self.llc_latency + (1.0 - llc_hit_rate) * lat_dram
+        return blended / mlp
+
+    def cpi(
+        self,
+        behavior: MemoryBehavior,
+        llc_hit_rate: float,
+        dram_latency: Optional[float] = None,
+    ) -> float:
+        """Deterministic CPI for a behaviour at a given LLC hit rate."""
+        if not 0.0 <= llc_hit_rate <= 1.0:
+            raise ValueError("llc_hit_rate must be within [0, 1]")
+        stall = self.stall_per_llc_access(llc_hit_rate, behavior.mlp, dram_latency)
+        return behavior.base_cpi + behavior.refs_per_instr * behavior.l1_miss_ratio * stall
+
+    def execute_interval(
+        self,
+        behavior: MemoryBehavior,
+        llc_hit_rate: float,
+        dram_latency: Optional[float] = None,
+    ) -> CoreActivity:
+        """Run one interval; returns consistent counter increments.
+
+        The counter identities that the rest of the system (and the tests)
+        rely on: ``l1_ref = instructions * refs_per_instr``, ``llc_ref =
+        l1_ref * l1_miss_ratio``, ``llc_miss = llc_ref * (1 - hit_rate)``,
+        and ``instructions = cycles / CPI`` — all up to integer rounding.
+        """
+        cpi = self.cpi(behavior, llc_hit_rate, dram_latency)
+        if self.noise_sigma > 0:
+            cpi *= float(np.exp(self._rng.normal(0.0, self.noise_sigma)))
+        cycles = int(round(self.cycles_per_interval * behavior.duty_cycle))
+        instructions = int(cycles / cpi) if cycles else 0
+        l1_ref = int(round(instructions * behavior.refs_per_instr))
+        llc_ref = int(round(l1_ref * behavior.l1_miss_ratio))
+        llc_miss = int(round(llc_ref * (1.0 - llc_hit_rate)))
+        llc_hit = llc_ref - llc_miss
+        l1_hit = l1_ref - llc_ref
+
+        lat_dram = self.dram.idle_latency_cycles if dram_latency is None else dram_latency
+        avg_latency = self.l1_latency + behavior.l1_miss_ratio * (
+            llc_hit_rate * self.llc_latency + (1.0 - llc_hit_rate) * lat_dram
+        )
+
+        return CoreActivity(
+            instructions=instructions,
+            cycles=cycles,
+            event_counts={
+                L1_CACHE_HITS: max(l1_hit, 0),
+                L1_CACHE_MISSES: llc_ref,
+                LLC_REFERENCES: llc_ref,
+                LLC_MISSES: max(llc_miss, 0),
+            },
+            avg_mem_latency_cycles=avg_latency,
+            llc_hit_rate=llc_hit_rate,
+        )
+
+    def miss_traffic_lines_per_cycle(self, activity: CoreActivity) -> float:
+        """This activity's DRAM line traffic, for the DRAM load feedback."""
+        if activity.cycles == 0:
+            return 0.0
+        return activity.event_counts[LLC_MISSES] / activity.cycles

@@ -1,0 +1,82 @@
+"""Socket topology: cores, hyperthread siblings, and the paper's machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.mem.address import MB, CacheGeometry
+
+__all__ = ["SocketSpec"]
+
+
+@dataclass(frozen=True)
+class SocketSpec:
+    """Static description of one processor socket.
+
+    Attributes:
+        name: Human-readable model name.
+        num_cores: Physical cores.
+        threads_per_core: SMT width (the paper pins vCPUs to separate
+            physical threads and excludes intra-core interference, so the
+            simulator schedules at thread granularity but never co-runs two
+            workloads on one core).
+        frequency_hz: Nominal frequency (used to convert cycles to seconds
+            in reports; the timing model runs scaled).
+        llc: Shared LLC geometry.
+    """
+
+    name: str
+    num_cores: int
+    threads_per_core: int
+    frequency_hz: float
+    llc: CacheGeometry
+
+    def __post_init__(self) -> None:
+        if self.num_cores < 1 or self.threads_per_core < 1:
+            raise ValueError("socket needs at least one core and one thread")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def num_threads(self) -> int:
+        return self.num_cores * self.threads_per_core
+
+    @property
+    def llc_way_bytes(self) -> int:
+        return self.llc.way_bytes
+
+    def thread_siblings(self, thread: int) -> Tuple[int, ...]:
+        """All hardware threads sharing this thread's physical core."""
+        if not 0 <= thread < self.num_threads:
+            raise ValueError(f"thread {thread} out of range")
+        core = thread % self.num_cores
+        return tuple(core + i * self.num_cores for i in range(self.threads_per_core))
+
+    def core_of(self, thread: int) -> int:
+        """The physical core a hardware thread belongs to (Linux numbering)."""
+        if not 0 <= thread < self.num_threads:
+            raise ValueError(f"thread {thread} out of range")
+        return thread % self.num_cores
+
+    @classmethod
+    def xeon_e5_2697v4(cls) -> "SocketSpec":
+        """The paper's evaluation machine: 18 cores @ 2.3 GHz, 20-way 45 MB LLC."""
+        return cls(
+            name="Xeon E5-2697 v4",
+            num_cores=18,
+            threads_per_core=2,
+            frequency_hz=2.3e9,
+            llc=CacheGeometry.xeon_e5(),
+        )
+
+    @classmethod
+    def xeon_d(cls) -> "SocketSpec":
+        """The paper's other machine: 8-core Xeon-D, 12-way 12 MB LLC."""
+        return cls(
+            name="Xeon D",
+            num_cores=8,
+            threads_per_core=2,
+            frequency_hz=2.0e9,
+            llc=CacheGeometry.xeon_d(),
+        )

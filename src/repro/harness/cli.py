@@ -1,0 +1,92 @@
+"""Command-line entry point: ``dcat-experiment`` / ``python -m repro.harness``.
+
+Usage::
+
+    dcat-experiment list
+    dcat-experiment run fig17 [--seed 1234]
+    dcat-experiment run all
+    dcat-experiment scenario my_tenants.json [--vm redis]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.report import render_experiment
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dcat-experiment",
+        description="Reproduce dCat (EuroSys 2018) figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids")
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment_id", help="e.g. fig10, tab4, or 'all'")
+    run.add_argument("--seed", type=int, default=1234, help="simulation seed")
+    scenario = sub.add_parser(
+        "scenario", help="run a JSON scenario file (see repro.harness.scenario_file)"
+    )
+    scenario.add_argument("path", help="path to the scenario JSON")
+    scenario.add_argument(
+        "--vm",
+        action="append",
+        default=None,
+        help="VM(s) to print timelines for (default: all)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "scenario":
+        return _run_scenario(args)
+    if args.command == "list":
+        for experiment_id in EXPERIMENTS:
+            print(experiment_id)
+        return 0
+    ids = list(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
+    for experiment_id in ids:
+        try:
+            result = run_experiment(experiment_id, seed=args.seed)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        print(render_experiment(result))
+        print()
+    return 0
+
+
+def _run_scenario(args) -> int:
+    from repro.harness.scenario_file import ScenarioError, run_scenario_file
+
+    try:
+        result = run_scenario_file(args.path)
+    except ScenarioError as exc:
+        print(f"scenario error: {exc}", file=sys.stderr)
+        return 2
+    names = args.vm if args.vm else sorted(result.records)
+    for name in names:
+        timeline = result.timeline(name)
+        if not timeline:
+            print(f"(no records for {name!r})", file=sys.stderr)
+            continue
+        print(f"== {name} ==")
+        print(f"{'t':>6} {'phase':<18} {'ways':>5} {'hit':>6} {'ipc':>7} state")
+        for rec in timeline:
+            state = rec.state.value if rec.state else "-"
+            print(
+                f"{rec.time_s:6.1f} {rec.phase_name or '-':<18} {rec.ways:5.1f} "
+                f"{rec.llc_hit_rate:6.3f} {rec.ipc:7.3f} {state}"
+            )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Experiment registry: one entry per paper figure/table plus ablations."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.harness.experiments.ablations import (
+    run_ablation_interval,
+    run_ablation_perftable,
+    run_ablation_phase_threshold,
+    run_ablation_policy,
+    run_ablation_priority,
+)
+from repro.harness.experiments.apps import (
+    run_tab4,
+    run_tab5,
+    run_tab5_multi,
+    run_tab6,
+)
+from repro.harness.experiments.micro import run_fig1, run_fig2, run_fig3, run_fig5
+from repro.harness.experiments.params import run_fig8, run_fig9
+from repro.harness.experiments.spec2006 import run_fig17, run_tab3
+from repro.harness.experiments.tables import run_tab1
+from repro.harness.experiments.timelines import (
+    run_fig10,
+    run_fig11,
+    run_fig12,
+    run_fig13,
+    run_fig14,
+    run_fig15,
+    run_fig16,
+)
+from repro.harness.results import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+Runner = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, Runner] = {
+    "fig1": run_fig1,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig5": run_fig5,
+    "fig8": run_fig8,
+    "fig9": run_fig9,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "fig15": run_fig15,
+    "fig16": run_fig16,
+    "fig17": run_fig17,
+    "tab1": run_tab1,
+    "tab3": run_tab3,
+    "tab4": run_tab4,
+    "tab5": run_tab5,
+    "tab5_multi": run_tab5_multi,
+    "tab6": run_tab6,
+    "ablation_perftable": run_ablation_perftable,
+    "ablation_priority": run_ablation_priority,
+    "ablation_policy": run_ablation_policy,
+    "ablation_interval": run_ablation_interval,
+    "ablation_phase_threshold": run_ablation_phase_threshold,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (raises KeyError for unknown ids)."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return runner(**kwargs)

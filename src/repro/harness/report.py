@@ -1,0 +1,122 @@
+"""ASCII rendering of experiment results.
+
+The harness prints each experiment in roughly the visual form the paper
+uses: tables as aligned columns, bar groups as labeled horizontal bars,
+series as compact (x, y) listings.  Nothing here affects measurements; it
+exists so ``dcat-experiment run fig17`` is directly comparable against the
+paper page.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.harness.results import BarGroup, ExperimentResult, Series, TableResult
+
+__all__ = [
+    "render_table",
+    "render_bars",
+    "render_series",
+    "render_sparkline",
+    "render_experiment",
+]
+
+_BAR_WIDTH = 40
+
+
+def _fmt(value: Union[str, float, int]) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(table: TableResult) -> str:
+    """Align a TableResult into monospace columns."""
+    rows = [[_fmt(c) for c in row] for row in table.rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(table.headers)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(table.headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(group: BarGroup) -> str:
+    """Horizontal ASCII bars, scaled to the group's maximum."""
+    if not group.bars:
+        return f"{group.name}: (empty)"
+    peak = max(abs(v) for v in group.bars.values()) or 1.0
+    width = max(len(k) for k in group.bars)
+    lines = [f"{group.name}:"]
+    for label, value in group.bars.items():
+        filled = int(round(abs(value) / peak * _BAR_WIDTH))
+        lines.append(f"  {label.ljust(width)}  {'#' * filled} {value:.3f}")
+    return "\n".join(lines)
+
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def render_sparkline(series: Series, width: int = 60) -> str:
+    """A one-line character plot of a series (timelines at a glance)."""
+    n = len(series.y)
+    if n == 0:
+        return f"{series.name}: (empty)"
+    stride = max(1, n // width)
+    ys = series.y[::stride]
+    lo, hi = min(ys), max(ys)
+    span = hi - lo
+    if span <= 0:
+        body = _SPARK_LEVELS[-1] * len(ys)
+    else:
+        body = "".join(
+            _SPARK_LEVELS[
+                min(
+                    len(_SPARK_LEVELS) - 1,
+                    int((y - lo) / span * (len(_SPARK_LEVELS) - 1)),
+                )
+            ]
+            for y in ys
+        )
+    return f"{series.name} [{lo:.3g}..{hi:.3g}]: |{body}|"
+
+
+def render_series(series: Series, max_points: int = 40) -> str:
+    """A compact x->y listing plus a sparkline, subsampled for long series."""
+    n = len(series.x)
+    stride = max(1, n // max_points)
+    pairs = [
+        f"({series.x[i]:g}, {series.y[i]:.3f})" for i in range(0, n, stride)
+    ]
+    listing = f"{series.name}: " + " ".join(pairs)
+    if n >= 8:
+        return render_sparkline(series) + "\n" + listing
+    return listing
+
+
+def render_experiment(result: ExperimentResult) -> str:
+    """Render a whole experiment, artifact by artifact."""
+    lines: List[str] = [
+        f"== {result.experiment_id}: {result.title} ==",
+    ]
+    for name, artifact in result.artifacts.items():
+        lines.append("")
+        lines.append(f"-- {name} --")
+        if isinstance(artifact, TableResult):
+            lines.append(render_table(artifact))
+        elif isinstance(artifact, BarGroup):
+            lines.append(render_bars(artifact))
+        elif isinstance(artifact, Series):
+            lines.append(render_series(artifact))
+        else:  # pragma: no cover - container enforces the union
+            lines.append(repr(artifact))
+    if result.notes:
+        lines.append("")
+        lines.append("-- notes --")
+        lines.extend(f"* {n}" for n in result.notes)
+    return "\n".join(lines)

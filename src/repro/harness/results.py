@@ -1,0 +1,149 @@
+"""Result containers for the experiment harness.
+
+Every experiment runner returns an :class:`ExperimentResult` holding one or
+more named artifacts — tables, bar groups, time series — in the same shape
+the paper presents them, so the report renderer can print "the same
+rows/series the paper reports" and the benchmarks can assert on shapes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = ["Series", "BarGroup", "TableResult", "ExperimentResult", "geomean"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean (the paper's SPEC aggregate)."""
+    vals = [v for v in values]
+    if not vals:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geomean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass
+class Series:
+    """One line of a figure: y-values over an x-axis."""
+
+    name: str
+    x: List[float]
+    y: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError(f"series {self.name!r}: x and y lengths differ")
+
+    def at(self, x_value: float) -> float:
+        """The y value at an exact x (KeyError-like failure if absent)."""
+        for xv, yv in zip(self.x, self.y):
+            if xv == x_value:
+                return yv
+        raise ValueError(f"series {self.name!r} has no point at x={x_value}")
+
+    @property
+    def final(self) -> float:
+        if not self.y:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.y[-1]
+
+    @property
+    def peak(self) -> float:
+        if not self.y:
+            raise ValueError(f"series {self.name!r} is empty")
+        return max(self.y)
+
+
+@dataclass
+class BarGroup:
+    """One group of labeled bars (one cluster of a bar chart)."""
+
+    name: str
+    bars: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, label: str) -> float:
+        return self.bars[label]
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        denom = self.bars[denominator]
+        if denom == 0:
+            raise ZeroDivisionError(f"bar {denominator!r} is zero")
+        return self.bars[numerator] / denom
+
+
+@dataclass
+class TableResult:
+    """A paper-style table: headers plus rows of cells."""
+
+    headers: List[str]
+    rows: List[List[Union[str, float, int]]] = field(default_factory=list)
+
+    def add_row(self, *cells: Union[str, float, int]) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(list(cells))
+
+    def column(self, header: str) -> List[Union[str, float, int]]:
+        idx = self.headers.index(header)
+        return [row[idx] for row in self.rows]
+
+    def lookup(self, key_header: str, key: str, value_header: str):
+        """The cell at (row where key_header == key, value_header)."""
+        kidx = self.headers.index(key_header)
+        vidx = self.headers.index(value_header)
+        for row in self.rows:
+            if row[kidx] == key:
+                return row[vidx]
+        raise KeyError(f"no row with {key_header}={key!r}")
+
+
+Artifact = Union[Series, BarGroup, TableResult]
+
+
+@dataclass
+class ExperimentResult:
+    """The complete output of one paper experiment.
+
+    Attributes:
+        experiment_id: ``fig1`` .. ``fig17``, ``tab1`` .. ``tab6``, or an
+            ablation id.
+        title: The paper's caption, abbreviated.
+        artifacts: Named tables / series / bar groups.
+        notes: Free-form observations recorded by the runner.
+    """
+
+    experiment_id: str
+    title: str
+    artifacts: Dict[str, Artifact] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, name: str, artifact: Artifact) -> None:
+        if name in self.artifacts:
+            raise ValueError(f"artifact {name!r} already present")
+        self.artifacts[name] = artifact
+
+    def series(self, name: str) -> Series:
+        art = self.artifacts[name]
+        if not isinstance(art, Series):
+            raise TypeError(f"{name!r} is a {type(art).__name__}, not a Series")
+        return art
+
+    def bars(self, name: str) -> BarGroup:
+        art = self.artifacts[name]
+        if not isinstance(art, BarGroup):
+            raise TypeError(f"{name!r} is a {type(art).__name__}, not a BarGroup")
+        return art
+
+    def table(self, name: str) -> TableResult:
+        art = self.artifacts[name]
+        if not isinstance(art, TableResult):
+            raise TypeError(f"{name!r} is a {type(art).__name__}, not a TableResult")
+        return art
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)

@@ -1,0 +1,247 @@
+"""JSON scenario files: declarative multi-tenant experiments.
+
+A downstream user should not need Python to ask "what would dCat do to *my*
+mix?".  A scenario file describes the machine, the tenants and the
+management regime; :func:`run_scenario_file` builds and runs it and returns
+the standard :class:`~repro.platform.sim.SimulationResult`.
+
+Example::
+
+    {
+      "machine": {"socket": "xeon_e5", "seed": 7},
+      "manager": {"type": "dcat",
+                  "config": {"llc_miss_rate_thr": 0.03,
+                             "policy": "max_performance"}},
+      "duration_s": 30,
+      "vms": [
+        {"name": "redis", "baseline_ways": 4, "workload": {"type": "redis"}},
+        {"name": "noisy", "baseline_ways": 4,
+         "workload": {"type": "mload", "wss_mb": 60}},
+        {"name": "spin", "baseline_ways": 4, "workload": {"type": "lookbusy"}}
+      ]
+    }
+
+Run from the CLI with ``dcat-experiment scenario path/to/file.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+from repro.core.config import AllocationPolicy, DCatConfig
+from repro.cpu.socket import SocketSpec
+from repro.mem.address import MB
+from repro.platform.exact import ExactCloudSimulation
+from repro.platform.machine import Machine
+from repro.platform.managers import (
+    CacheManager,
+    DCatManager,
+    SharedCacheManager,
+    StaticCatManager,
+)
+from repro.platform.sim import CloudSimulation, SimulationResult
+from repro.platform.vm import VirtualMachine, pin_vms
+from repro.workloads.base import Workload
+from repro.workloads.database import PostgresWorkload
+from repro.workloads.kvstore import RedisWorkload
+from repro.workloads.lookbusy import LookbusyWorkload
+from repro.workloads.mload import MloadWorkload
+from repro.workloads.mlr import MlrWorkload
+from repro.workloads.search import ElasticsearchWorkload
+from repro.workloads.spec import spec_workload
+
+__all__ = ["ScenarioError", "load_scenario", "run_scenario_file"]
+
+
+class ScenarioError(ValueError):
+    """A scenario file is malformed; the message names the offending key."""
+
+
+def _workload_mlr(name: str, spec: Dict[str, Any]) -> Workload:
+    return MlrWorkload(
+        int(spec.get("wss_mb", 8) * MB),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+        duration_s=spec.get("duration_s"),
+        name=name,
+    )
+
+
+def _workload_mload(name: str, spec: Dict[str, Any]) -> Workload:
+    return MloadWorkload(
+        int(spec.get("wss_mb", 60) * MB),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+        duration_s=spec.get("duration_s"),
+        name=name,
+    )
+
+
+def _workload_lookbusy(name: str, spec: Dict[str, Any]) -> Workload:
+    return LookbusyWorkload(
+        utilization=float(spec.get("utilization", 1.0)), name=name
+    )
+
+
+def _workload_spec(name: str, spec: Dict[str, Any]) -> Workload:
+    try:
+        benchmark = spec["benchmark"]
+    except KeyError:
+        raise ScenarioError("spec workloads need a 'benchmark' key") from None
+    return spec_workload(
+        benchmark,
+        instructions=spec.get("instructions"),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+    )
+
+
+def _workload_redis(name: str, spec: Dict[str, Any]) -> Workload:
+    return RedisWorkload(
+        records=int(spec.get("records", 1_000_000)),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+        name=name,
+    )
+
+
+def _workload_postgres(name: str, spec: Dict[str, Any]) -> Workload:
+    return PostgresWorkload(
+        tuples=int(spec.get("tuples", 10_000_000)),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+        name=name,
+    )
+
+
+def _workload_elasticsearch(name: str, spec: Dict[str, Any]) -> Workload:
+    return ElasticsearchWorkload(
+        documents=int(spec.get("documents", 100_000)),
+        start_delay_s=float(spec.get("start_delay_s", 0.0)),
+        name=name,
+    )
+
+
+_WORKLOADS: Dict[str, Callable[[str, Dict[str, Any]], Workload]] = {
+    "mlr": _workload_mlr,
+    "mload": _workload_mload,
+    "lookbusy": _workload_lookbusy,
+    "spec": _workload_spec,
+    "redis": _workload_redis,
+    "postgres": _workload_postgres,
+    "elasticsearch": _workload_elasticsearch,
+}
+
+_SOCKETS = {
+    "xeon_e5": SocketSpec.xeon_e5_2697v4,
+    "xeon_d": SocketSpec.xeon_d,
+}
+
+
+def _build_manager(spec: Dict[str, Any]) -> CacheManager:
+    kind = spec.get("type", "dcat")
+    if kind == "shared":
+        return SharedCacheManager()
+    if kind == "static":
+        return StaticCatManager()
+    if kind != "dcat":
+        raise ScenarioError(
+            f"unknown manager type {kind!r}; use shared/static/dcat"
+        )
+    config_spec = dict(spec.get("config", {}))
+    if "policy" in config_spec:
+        try:
+            config_spec["policy"] = AllocationPolicy(config_spec["policy"])
+        except ValueError:
+            raise ScenarioError(
+                f"unknown policy {config_spec['policy']!r}"
+            ) from None
+    try:
+        config = DCatConfig(**config_spec)
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"bad dcat config: {exc}") from None
+    return DCatManager(config=config)
+
+
+def load_scenario(source: Union[str, Path, Dict[str, Any]]):
+    """Parse a scenario (dict, JSON string, or file path) into build parts.
+
+    Returns:
+        ``(machine, vms, manager, duration_s, exact_mode)``.
+
+    Raises:
+        ScenarioError: On any malformed field, naming it.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        path = Path(source)
+        try:
+            is_file = path.exists()
+        except OSError:  # e.g. a JSON blob too long to be a filename
+            is_file = False
+        if is_file:
+            data = json.loads(path.read_text())
+        else:
+            try:
+                data = json.loads(str(source))
+            except json.JSONDecodeError:
+                raise ScenarioError(
+                    f"scenario {source!r} is neither a file nor valid JSON"
+                ) from None
+
+    machine_spec = data.get("machine", {})
+    socket_name = machine_spec.get("socket", "xeon_e5")
+    if socket_name not in _SOCKETS:
+        raise ScenarioError(
+            f"unknown socket {socket_name!r}; use one of {sorted(_SOCKETS)}"
+        )
+    machine = Machine(
+        spec=_SOCKETS[socket_name](),
+        seed=int(machine_spec.get("seed", 1234)),
+        interval_s=float(machine_spec.get("interval_s", 1.0)),
+    )
+
+    vm_specs = data.get("vms")
+    if not vm_specs:
+        raise ScenarioError("a scenario needs a non-empty 'vms' list")
+    vms: List[VirtualMachine] = []
+    for i, vm_spec in enumerate(vm_specs):
+        workload_spec = vm_spec.get("workload")
+        if not workload_spec or "type" not in workload_spec:
+            raise ScenarioError(f"vms[{i}] needs a workload with a 'type'")
+        kind = workload_spec["type"]
+        if kind not in _WORKLOADS:
+            raise ScenarioError(
+                f"vms[{i}]: unknown workload type {kind!r}; "
+                f"use one of {sorted(_WORKLOADS)}"
+            )
+        name = vm_spec.get("name", f"{kind}-{i}")
+        workload = _WORKLOADS[kind](name, workload_spec)
+        vms.append(
+            VirtualMachine(
+                name=name,
+                workload=workload,
+                baseline_ways=int(vm_spec.get("baseline_ways", 3)),
+            )
+        )
+    names = [vm.name for vm in vms]
+    if len(set(names)) != len(names):
+        raise ScenarioError(f"duplicate VM names: {names}")
+    pin_vms(vms, machine.spec)
+
+    manager = _build_manager(data.get("manager", {}))
+    duration = float(data.get("duration_s", 30.0))
+    if duration <= 0:
+        raise ScenarioError("duration_s must be positive")
+    exact = bool(data.get("exact", False))
+    return machine, vms, manager, duration, exact
+
+
+def run_scenario_file(
+    source: Union[str, Path, Dict[str, Any]]
+) -> SimulationResult:
+    """Build and run a scenario; returns the simulation result."""
+    machine, vms, manager, duration, exact = load_scenario(source)
+    if exact:
+        sim: CloudSimulation = ExactCloudSimulation(machine, vms, manager)
+    else:
+        sim = CloudSimulation(machine, vms, manager)
+    return sim.run(duration)

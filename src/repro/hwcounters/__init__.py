@@ -1,0 +1,46 @@
+"""Hardware performance-counter substrate (MSR-style PMU model)."""
+
+from repro.hwcounters.events import (
+    FIXED_CTR_RETIRED_INSTRUCTIONS,
+    FIXED_CTR_UNHALTED_CYCLES,
+    L1_CACHE_HITS,
+    L1_CACHE_MISSES,
+    LLC_MISSES,
+    LLC_REFERENCES,
+    PROGRAMMABLE_EVENTS,
+    PerfEvent,
+)
+from repro.hwcounters.msr import (
+    COUNTER_WIDTH_BITS,
+    IA32_FIXED_CTR0,
+    IA32_FIXED_CTR_CTRL,
+    IA32_PERF_GLOBAL_CTRL,
+    IA32_PERFEVTSEL0,
+    IA32_PMC0,
+    NUM_PROGRAMMABLE_COUNTERS,
+    CorePmu,
+    MsrFile,
+)
+from repro.hwcounters.perfmon import CounterSample, PerfMonitor
+
+__all__ = [
+    "FIXED_CTR_RETIRED_INSTRUCTIONS",
+    "FIXED_CTR_UNHALTED_CYCLES",
+    "L1_CACHE_HITS",
+    "L1_CACHE_MISSES",
+    "LLC_MISSES",
+    "LLC_REFERENCES",
+    "PROGRAMMABLE_EVENTS",
+    "PerfEvent",
+    "COUNTER_WIDTH_BITS",
+    "IA32_FIXED_CTR0",
+    "IA32_FIXED_CTR_CTRL",
+    "IA32_PERF_GLOBAL_CTRL",
+    "IA32_PERFEVTSEL0",
+    "IA32_PMC0",
+    "NUM_PROGRAMMABLE_COUNTERS",
+    "CorePmu",
+    "MsrFile",
+    "CounterSample",
+    "PerfMonitor",
+]

@@ -1,0 +1,125 @@
+"""Model-specific-register (MSR) file and per-core PMU model.
+
+dCat's original implementation reads counters via ``/dev/cpu/*/msr``.  Here
+each simulated core owns an :class:`MsrFile` (a sparse 64-bit register file
+with the PMU registers wired up) and a :class:`CorePmu` that turns simulated
+activity — instructions retired, cycles elapsed, cache events — into counter
+increments, honoring which events the controller has programmed and the
+hardware's 48-bit counter width (so wraparound handling in the sampling layer
+is exercised for real).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.hwcounters.events import (
+    FIXED_CTR_RETIRED_INSTRUCTIONS,
+    FIXED_CTR_UNHALTED_CYCLES,
+    PerfEvent,
+)
+
+__all__ = [
+    "IA32_PMC0",
+    "IA32_PERFEVTSEL0",
+    "IA32_FIXED_CTR0",
+    "IA32_FIXED_CTR_CTRL",
+    "IA32_PERF_GLOBAL_CTRL",
+    "NUM_PROGRAMMABLE_COUNTERS",
+    "COUNTER_WIDTH_BITS",
+    "MsrFile",
+    "CorePmu",
+]
+
+# Architectural MSR addresses (Intel SDM vol. 4).
+IA32_PMC0 = 0x0C1
+IA32_PERFEVTSEL0 = 0x186
+IA32_FIXED_CTR0 = 0x309
+IA32_FIXED_CTR_CTRL = 0x38D
+IA32_PERF_GLOBAL_CTRL = 0x38F
+
+NUM_PROGRAMMABLE_COUNTERS = 4
+NUM_FIXED_COUNTERS = 3
+COUNTER_WIDTH_BITS = 48
+_COUNTER_MASK = (1 << COUNTER_WIDTH_BITS) - 1
+
+
+class MsrFile:
+    """Sparse 64-bit register file with rdmsr/wrmsr semantics.
+
+    Reading an unimplemented MSR raises (as the real ``msr`` driver would
+    surface an EIO); the PMU registers are pre-implemented at zero.
+    """
+
+    def __init__(self) -> None:
+        self._regs: Dict[int, int] = {}
+        for i in range(NUM_PROGRAMMABLE_COUNTERS):
+            self._regs[IA32_PMC0 + i] = 0
+            self._regs[IA32_PERFEVTSEL0 + i] = 0
+        for i in range(NUM_FIXED_COUNTERS):
+            self._regs[IA32_FIXED_CTR0 + i] = 0
+        self._regs[IA32_FIXED_CTR_CTRL] = 0
+        self._regs[IA32_PERF_GLOBAL_CTRL] = 0
+
+    def rdmsr(self, addr: int) -> int:
+        """Read an MSR; raises KeyError for unimplemented addresses."""
+        try:
+            return self._regs[addr]
+        except KeyError:
+            raise KeyError(f"rdmsr of unimplemented MSR {addr:#x}") from None
+
+    def wrmsr(self, addr: int, value: int) -> None:
+        """Write an MSR (values are truncated to 64 bits)."""
+        self._regs[addr] = value & ((1 << 64) - 1)
+
+    def implemented(self, addr: int) -> bool:
+        return addr in self._regs
+
+
+@dataclass
+class CorePmu:
+    """Per-core PMU: routes simulated activity into programmed counters.
+
+    The simulation calls :meth:`advance` once per interval with the core's
+    activity totals; the PMU increments whichever PMCs the controller has
+    programmed (via IA32_PERFEVTSELx writes) plus the always-on fixed
+    counters, with 48-bit wraparound.
+    """
+
+    msrs: MsrFile = field(default_factory=MsrFile)
+
+    def advance(
+        self,
+        instructions: int,
+        cycles: int,
+        event_counts: Mapping[PerfEvent, int],
+    ) -> None:
+        """Account one slice of simulated activity.
+
+        Args:
+            instructions: Instructions retired in the slice.
+            cycles: Unhalted cycles in the slice.
+            event_counts: Occurrence counts keyed by programmable event.
+        """
+        if instructions < 0 or cycles < 0:
+            raise ValueError("activity totals cannot be negative")
+        self._bump_fixed(FIXED_CTR_RETIRED_INSTRUCTIONS, instructions)
+        self._bump_fixed(FIXED_CTR_UNHALTED_CYCLES, cycles)
+        for idx in range(NUM_PROGRAMMABLE_COUNTERS):
+            sel = self.msrs.rdmsr(IA32_PERFEVTSEL0 + idx)
+            if not (sel >> 22) & 1:  # EN bit
+                continue
+            key = (sel & 0xFF, (sel >> 8) & 0xFF)
+            for event, count in event_counts.items():
+                if (event.event_select, event.umask) == key:
+                    self._bump_pmc(idx, count)
+                    break
+
+    def _bump_pmc(self, idx: int, delta: int) -> None:
+        addr = IA32_PMC0 + idx
+        self.msrs.wrmsr(addr, (self.msrs.rdmsr(addr) + delta) & _COUNTER_MASK)
+
+    def _bump_fixed(self, idx: int, delta: int) -> None:
+        addr = IA32_FIXED_CTR0 + idx
+        self.msrs.wrmsr(addr, (self.msrs.rdmsr(addr) + delta) & _COUNTER_MASK)

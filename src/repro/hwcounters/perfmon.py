@@ -1,0 +1,157 @@
+"""Counter sampling layer: programs events, reads deltas, derives rates.
+
+This is the controller-facing half of the counter substrate.  A
+:class:`PerfMonitor` owns the set of cores it watches, programs the four
+paper events into each core's PMU, and on every :meth:`sample` returns the
+*interval deltas* (handling 48-bit counter wraparound) aggregated into a
+:class:`CounterSample` — exactly the quantities dCat's "Collect Statistics"
+step consumes: l1_ref, llc_ref, llc_miss, ret_ins, cycles and the derived
+IPC / miss-rate / memory-accesses-per-instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.hwcounters.events import (
+    FIXED_CTR_RETIRED_INSTRUCTIONS,
+    FIXED_CTR_UNHALTED_CYCLES,
+    L1_CACHE_HITS,
+    L1_CACHE_MISSES,
+    LLC_MISSES,
+    LLC_REFERENCES,
+    PerfEvent,
+)
+from repro.hwcounters.msr import (
+    COUNTER_WIDTH_BITS,
+    IA32_FIXED_CTR0,
+    IA32_PERFEVTSEL0,
+    IA32_PMC0,
+    CorePmu,
+)
+
+__all__ = ["CounterSample", "PerfMonitor"]
+
+_WRAP = 1 << COUNTER_WIDTH_BITS
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """Interval counter deltas for one workload (summed over its cores).
+
+    All derived properties are defined to be safe on zero denominators (an
+    idle interval yields zeros rather than exceptions — the classifier
+    treats that as an idle Donor).
+    """
+
+    l1_ref: int = 0
+    llc_ref: int = 0
+    llc_miss: int = 0
+    ret_ins: int = 0
+    cycles: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per unhalted cycle."""
+        return self.ret_ins / self.cycles if self.cycles else 0.0
+
+    @property
+    def llc_miss_rate(self) -> float:
+        """LLC misses per LLC reference."""
+        return self.llc_miss / self.llc_ref if self.llc_ref else 0.0
+
+    @property
+    def mem_refs_per_instr(self) -> float:
+        """L1 references per retired instruction — the phase signature."""
+        return self.l1_ref / self.ret_ins if self.ret_ins else 0.0
+
+    @property
+    def llc_refs_per_instr(self) -> float:
+        """LLC references per instruction (low => cannot benefit from LLC)."""
+        return self.llc_ref / self.ret_ins if self.ret_ins else 0.0
+
+    def __add__(self, other: "CounterSample") -> "CounterSample":
+        return CounterSample(
+            l1_ref=self.l1_ref + other.l1_ref,
+            llc_ref=self.llc_ref + other.llc_ref,
+            llc_miss=self.llc_miss + other.llc_miss,
+            ret_ins=self.ret_ins + other.ret_ins,
+            cycles=self.cycles + other.cycles,
+        )
+
+    @staticmethod
+    def aggregate(samples: Iterable["CounterSample"]) -> "CounterSample":
+        """Sum counters over a workload's cores (paper: averaged metrics)."""
+        total = CounterSample()
+        for s in samples:
+            total = total + s
+        return total
+
+
+# PMC slot assignment used by the monitor (any injective assignment works).
+_PMC_EVENTS: Sequence[PerfEvent] = (
+    LLC_MISSES,
+    LLC_REFERENCES,
+    L1_CACHE_MISSES,
+    L1_CACHE_HITS,
+)
+
+
+class PerfMonitor:
+    """Programs and samples PMUs for a set of cores.
+
+    Args:
+        pmus: Mapping of core id to that core's :class:`CorePmu`.
+    """
+
+    def __init__(self, pmus: Mapping[int, CorePmu]) -> None:
+        if not pmus:
+            raise ValueError("PerfMonitor needs at least one core")
+        self._pmus: Dict[int, CorePmu] = dict(pmus)
+        self._last_raw: Dict[int, List[int]] = {}
+        for core, pmu in self._pmus.items():
+            self._program(pmu)
+            self._last_raw[core] = self._read_raw(pmu)
+
+    @staticmethod
+    def _program(pmu: CorePmu) -> None:
+        for slot, event in enumerate(_PMC_EVENTS):
+            pmu.msrs.wrmsr(IA32_PERFEVTSEL0 + slot, event.evtsel_value)
+
+    @staticmethod
+    def _read_raw(pmu: CorePmu) -> List[int]:
+        raw = [pmu.msrs.rdmsr(IA32_PMC0 + slot) for slot in range(len(_PMC_EVENTS))]
+        raw.append(pmu.msrs.rdmsr(IA32_FIXED_CTR0 + FIXED_CTR_RETIRED_INSTRUCTIONS))
+        raw.append(pmu.msrs.rdmsr(IA32_FIXED_CTR0 + FIXED_CTR_UNHALTED_CYCLES))
+        return raw
+
+    @staticmethod
+    def _delta(now: int, before: int) -> int:
+        """Counter delta with 48-bit wraparound correction."""
+        return (now - before) % _WRAP
+
+    @property
+    def cores(self) -> List[int]:
+        return sorted(self._pmus)
+
+    def sample_core(self, core: int) -> CounterSample:
+        """Read one core's counters and return the delta since last sample."""
+        pmu = self._pmus[core]
+        raw = self._read_raw(pmu)
+        before = self._last_raw[core]
+        deltas = [self._delta(n, b) for n, b in zip(raw, before)]
+        self._last_raw[core] = raw
+        by_event = dict(zip(_PMC_EVENTS, deltas[: len(_PMC_EVENTS)]))
+        l1_ref = by_event[L1_CACHE_HITS] + by_event[L1_CACHE_MISSES]
+        return CounterSample(
+            l1_ref=l1_ref,
+            llc_ref=by_event[LLC_REFERENCES],
+            llc_miss=by_event[LLC_MISSES],
+            ret_ins=deltas[len(_PMC_EVENTS)],
+            cycles=deltas[len(_PMC_EVENTS) + 1],
+        )
+
+    def sample_cores(self, cores: Iterable[int]) -> CounterSample:
+        """Sample several cores and aggregate (one workload's vCPUs)."""
+        return CounterSample.aggregate(self.sample_core(c) for c in cores)

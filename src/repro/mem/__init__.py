@@ -1,0 +1,17 @@
+"""Memory substrate: address math, paging, and DRAM timing."""
+
+from repro.mem.address import KB, MB, CacheGeometry, is_power_of_two
+from repro.mem.dram import DramModel
+from repro.mem.paging import PAGE_2M, PAGE_4K, MappedBuffer, PageTable
+
+__all__ = [
+    "KB",
+    "MB",
+    "CacheGeometry",
+    "is_power_of_two",
+    "DramModel",
+    "PAGE_2M",
+    "PAGE_4K",
+    "MappedBuffer",
+    "PageTable",
+]

@@ -1,0 +1,55 @@
+"""DRAM latency/bandwidth model.
+
+The core timing model charges a DRAM penalty for every LLC miss.  Real DRAM
+latency is load dependent: as bandwidth utilization approaches saturation,
+queuing delay grows sharply.  That effect matters for the paper's noisy-
+neighbor experiments — two MLOAD-60MB streams drive memory close to
+saturation, which is part of why an unprotected MLR suffers so badly — so we
+model it with a standard M/M/1-style inflation factor, clamped to keep the
+model stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DramModel"]
+
+
+@dataclass
+class DramModel:
+    """Loaded-latency model for a socket's memory subsystem.
+
+    Attributes:
+        idle_latency_cycles: Unloaded access latency in core cycles
+            (~200 cycles at 2.3 GHz is typical for Broadwell).
+        peak_lines_per_cycle: Sustainable line transfers per core cycle for
+            the whole socket.  At 2.3 GHz with ~60 GB/s per socket this is
+            about 0.4 lines/cycle; the default is deliberately round.
+        max_inflation: Cap on the queuing inflation factor so extreme
+            overload cannot produce unbounded latencies.
+    """
+
+    idle_latency_cycles: float = 200.0
+    peak_lines_per_cycle: float = 0.4
+    max_inflation: float = 4.0
+
+    def utilization(self, miss_lines_per_cycle: float) -> float:
+        """Fraction of peak bandwidth consumed by the given miss traffic."""
+        if miss_lines_per_cycle < 0:
+            raise ValueError("miss traffic cannot be negative")
+        return min(miss_lines_per_cycle / self.peak_lines_per_cycle, 1.0)
+
+    def loaded_latency(self, miss_lines_per_cycle: float) -> float:
+        """Average DRAM latency (cycles) under the given total miss traffic.
+
+        Uses the classic ``idle / (1 - rho)`` queueing inflation with a cap:
+        at rho = 0 the latency is the idle latency; as rho -> 1 it approaches
+        ``idle * max_inflation``.
+        """
+        rho = self.utilization(miss_lines_per_cycle)
+        # Solve inflation = 1 / (1 - rho) but clamp: pick rho* so that the
+        # inflation never exceeds max_inflation.
+        rho_cap = 1.0 - 1.0 / self.max_inflation
+        inflation = 1.0 / (1.0 - min(rho, rho_cap))
+        return self.idle_latency_cycles * inflation

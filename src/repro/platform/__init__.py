@@ -1,0 +1,26 @@
+"""Multi-tenant platform: machine, VMs, cache managers, simulation loop."""
+
+from repro.platform.exact import ExactCloudSimulation
+from repro.platform.machine import Machine
+from repro.platform.managers import (
+    CacheManager,
+    DCatManager,
+    SharedCacheManager,
+    StaticCatManager,
+)
+from repro.platform.sim import CloudSimulation, SimulationResult, VmIntervalRecord
+from repro.platform.vm import VirtualMachine, pin_vms
+
+__all__ = [
+    "ExactCloudSimulation",
+    "Machine",
+    "CacheManager",
+    "DCatManager",
+    "SharedCacheManager",
+    "StaticCatManager",
+    "CloudSimulation",
+    "SimulationResult",
+    "VmIntervalRecord",
+    "VirtualMachine",
+    "pin_vms",
+]

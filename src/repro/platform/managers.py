@@ -1,0 +1,124 @@
+"""Cache managers: the three regimes the paper compares.
+
+* :class:`SharedCacheManager` — no CAT at all; the LLC is a free-for-all and
+  capacity splits by insertion pressure (the paper's "shared cache" bars).
+* :class:`StaticCatManager` — each VM's reserved ways are programmed once
+  and never change (the paper's "static partition" bars).
+* :class:`DCatManager` — the dCat controller runs every interval.
+
+A manager owns the control plane only; the data plane (hit rates, counters)
+is computed by the simulation from the CAT state the manager programs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence
+
+from repro.cat.layout import pack_contiguous
+from repro.cat.pqos import PqosL3Ca
+from repro.core.config import DCatConfig
+from repro.core.controller import DCatController, StepResult
+from repro.core.states import WorkloadState
+from repro.platform.machine import Machine
+from repro.platform.vm import VirtualMachine
+
+__all__ = ["CacheManager", "SharedCacheManager", "StaticCatManager", "DCatManager"]
+
+
+class CacheManager(abc.ABC):
+    """Control-plane interface stepped by the simulation."""
+
+    #: "shared" -> the simulation resolves capacity by contention;
+    #: "partitioned" -> each VM's hit rate follows its CAT mask.
+    mode: str = "partitioned"
+    name: str = "manager"
+
+    @abc.abstractmethod
+    def setup(self, machine: Machine, vms: Sequence[VirtualMachine]) -> None:
+        """Bind to the machine and program the initial state."""
+
+    def control(self) -> None:
+        """Run one control interval (after counters are updated)."""
+
+    def state_of(self, vm_name: str) -> Optional[WorkloadState]:
+        """The controller state of a VM, if this manager tracks one."""
+        return None
+
+
+class SharedCacheManager(CacheManager):
+    """No cache management: every core may fill anywhere."""
+
+    mode = "shared"
+    name = "shared"
+
+    def setup(self, machine: Machine, vms: Sequence[VirtualMachine]) -> None:
+        machine.cat.reset()
+
+
+class StaticCatManager(CacheManager):
+    """Static CAT: program each VM's reserved ways once.
+
+    Args:
+        flush_on_setup: Irrelevant to steady state; kept for symmetry.
+    """
+
+    mode = "partitioned"
+    name = "static-cat"
+
+    def setup(self, machine: Machine, vms: Sequence[VirtualMachine]) -> None:
+        baselines = {vm.name: vm.baseline_ways for vm in vms}
+        total = sum(baselines.values())
+        if total > machine.num_ways:
+            raise ValueError(
+                f"static partition of {total} ways exceeds the "
+                f"{machine.num_ways}-way LLC"
+            )
+        layout = pack_contiguous(baselines, machine.num_ways)
+        entries: List[PqosL3Ca] = []
+        for i, vm in enumerate(vms):
+            cos_id = i + 1
+            entries.append(PqosL3Ca(cos_id=cos_id, ways_mask=layout.masks[vm.name]))
+            for core in vm.vcpus:
+                machine.pqos.alloc_assoc_set(core, cos_id)
+        machine.pqos.l3ca_set(entries)
+
+
+class DCatManager(CacheManager):
+    """dCat: dynamic management via :class:`DCatController`.
+
+    Args:
+        config: Controller configuration (defaults to the paper's values).
+    """
+
+    mode = "partitioned"
+    name = "dcat"
+
+    def __init__(self, config: Optional[DCatConfig] = None) -> None:
+        self.config = config
+        self.controller: Optional[DCatController] = None
+        self.last_result: Optional[StepResult] = None
+
+    def setup(self, machine: Machine, vms: Sequence[VirtualMachine]) -> None:
+        perfmon = machine.new_perfmon()
+        self.controller = DCatController(
+            pqos=machine.pqos,
+            perfmon=perfmon,
+            config=self.config,
+            nominal_cycles_per_core=machine.cycles_per_interval,
+        )
+        for vm in vms:
+            self.controller.register_workload(
+                vm.name, vm.vcpus, baseline_ways=vm.baseline_ways
+            )
+        self.controller.initialize()
+
+    def control(self) -> None:
+        assert self.controller is not None, "setup() was not called"
+        self.last_result = self.controller.step()
+
+    def state_of(self, vm_name: str) -> Optional[WorkloadState]:
+        if self.controller is None:
+            return None
+        record = self.controller.records.get(vm_name)
+        return record.state if record is not None else None

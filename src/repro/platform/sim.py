@@ -1,0 +1,366 @@
+"""The multi-tenant cloud simulation loop.
+
+One :class:`CloudSimulation` step is one controller interval of virtual
+time:
+
+1. each VM's active phase is resolved to an LLC hit rate — from its CAT
+   mask (partitioned managers) or from the contention solver (shared LLC);
+2. each busy vCPU's core model turns that hit rate into cycles,
+   instructions and cache events, which are fed into the per-thread PMUs —
+   the only place the dCat controller can see them;
+3. client-observed application metrics are computed for served apps;
+4. workloads advance (phase boundaries, run-to-completion accounting);
+5. the cache manager runs its control step (for dCat: the five-step loop);
+6. total miss traffic updates the DRAM loaded latency used next interval.
+
+Everything observable lands in :class:`VmIntervalRecord` timelines, which
+the experiment harness turns into the paper's figures and tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.analytical import AccessPattern
+from repro.cache.contention import CacheDemand
+from repro.core.states import WorkloadState
+from repro.hwcounters.events import L1_CACHE_HITS, L1_CACHE_MISSES, LLC_MISSES, LLC_REFERENCES
+from repro.platform.machine import Machine
+from repro.platform.managers import CacheManager
+from repro.platform.vm import VirtualMachine
+from repro.workloads.apps import AppWorkload
+from repro.workloads.base import Phase, PhasedWorkload
+from repro.workloads.clients import AppMetrics
+
+__all__ = ["VmIntervalRecord", "SimulationResult", "CloudSimulation"]
+
+
+@dataclass(frozen=True)
+class VmIntervalRecord:
+    """One VM's observables over one interval."""
+
+    time_s: float
+    vm_name: str
+    phase_name: Optional[str]
+    ways: float
+    llc_hit_rate: float
+    ipc: float
+    avg_mem_latency_cycles: float
+    instructions: int
+    cycles: int
+    l1_refs: int = 0
+    llc_refs: int = 0
+    llc_misses: int = 0
+    state: Optional[WorkloadState] = None
+    app: Optional[AppMetrics] = None
+
+    @property
+    def llc_miss_rate(self) -> float:
+        return 1.0 - self.llc_hit_rate
+
+    @property
+    def mem_refs_per_instr(self) -> float:
+        """Measured L1 references per instruction (the phase signature)."""
+        return self.l1_refs / self.instructions if self.instructions else 0.0
+
+
+@dataclass
+class SimulationResult:
+    """Timelines and completion times for one simulation run."""
+
+    interval_s: float
+    records: Dict[str, List[VmIntervalRecord]] = field(default_factory=dict)
+    completions: Dict[str, List[Tuple[str, float]]] = field(default_factory=dict)
+
+    # -- extraction helpers -------------------------------------------------
+
+    def timeline(self, vm_name: str) -> List[VmIntervalRecord]:
+        return self.records.get(vm_name, [])
+
+    def series(self, vm_name: str, attr: str) -> List[float]:
+        """A single attribute over time for one VM."""
+        return [getattr(r, attr) for r in self.timeline(vm_name)]
+
+    def mean(
+        self,
+        vm_name: str,
+        attr: str,
+        t0: float = 0.0,
+        t1: float = float("inf"),
+        active_only: bool = True,
+    ) -> float:
+        """Mean of an attribute over [t0, t1), optionally active phases only."""
+        values = [
+            getattr(r, attr)
+            for r in self.timeline(vm_name)
+            if t0 <= r.time_s < t1
+            and (not active_only or (r.phase_name and "idle" not in r.phase_name))
+        ]
+        if not values:
+            raise ValueError(f"no records for {vm_name!r} in [{t0}, {t1})")
+        return sum(values) / len(values)
+
+    def final(self, vm_name: str, attr: str) -> float:
+        timeline = self.timeline(vm_name)
+        if not timeline:
+            raise ValueError(f"no records for {vm_name!r}")
+        return getattr(timeline[-1], attr)
+
+    def completion_time(self, vm_name: str, phase_name: str) -> Optional[float]:
+        """When a work-bounded phase finished (first completion wins)."""
+        for name, t in self.completions.get(vm_name, []):
+            if name == phase_name:
+                return t
+        return None
+
+    def steady_mean(
+        self, vm_name: str, attr: str, tail_intervals: int = 10
+    ) -> float:
+        """Mean over the last N intervals (post-convergence behaviour)."""
+        timeline = self.timeline(vm_name)
+        if not timeline:
+            raise ValueError(f"no records for {vm_name!r}")
+        tail = timeline[-tail_intervals:]
+        return sum(getattr(r, attr) for r in tail) / len(tail)
+
+
+class CloudSimulation:
+    """Interval-stepped simulation of VMs sharing one socket.
+
+    Args:
+        machine: The host.
+        vms: Pinned VMs (see :func:`repro.platform.vm.pin_vms`).
+        manager: The cache-management regime under test.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        vms: Sequence[VirtualMachine],
+        manager: CacheManager,
+    ) -> None:
+        names = [vm.name for vm in vms]
+        if len(set(names)) != len(names):
+            raise ValueError("VM names must be unique")
+        for vm in vms:
+            if not vm.vcpus:
+                raise ValueError(f"VM {vm.name!r} has no pinned vCPUs")
+        self.machine = machine
+        self.vms = list(vms)
+        self.manager = manager
+        self.manager.setup(machine, vms)
+        self.result = SimulationResult(interval_s=machine.interval_s)
+        for vm in vms:
+            self.result.records[vm.name] = []
+            self.result.completions[vm.name] = []
+        self._time_s = 0.0
+        self._dram_latency = machine.dram.idle_latency_cycles
+        # Monitoring: one RMID per VM (mirrors the COS assignment).
+        self._rmid_of: Dict[str, int] = {}
+        for i, vm in enumerate(vms):
+            rmid = (i + 1) % machine.cmt.num_rmids
+            self._rmid_of[vm.name] = rmid
+            for core in vm.vcpus:
+                machine.cmt.assoc_rmid(core, rmid)
+        # Previous-interval hit-rate estimate per VM, used to seed the
+        # contention solver's reference-rate estimates.
+        self._last_hit: Dict[str, float] = {vm.name: 0.5 for vm in vms}
+
+    # -- main loop ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._time_s
+
+    def run(self, duration_s: float) -> SimulationResult:
+        """Advance the simulation by ``duration_s`` of virtual time."""
+        steps = int(round(duration_s / self.machine.interval_s))
+        for _ in range(steps):
+            self.step()
+        return self.result
+
+    def run_until_finished(
+        self, watch: Sequence[str], max_duration_s: float = 3600.0
+    ) -> SimulationResult:
+        """Run until the watched VMs' workloads finish (or the cap hits)."""
+        watched = {vm.name: vm for vm in self.vms if vm.name in set(watch)}
+        if len(watched) != len(set(watch)):
+            missing = set(watch) - set(watched)
+            raise ValueError(f"unknown VMs: {sorted(missing)}")
+        steps_cap = int(round(max_duration_s / self.machine.interval_s))
+        for _ in range(steps_cap):
+            self.step()
+            if all(vm.workload.finished for vm in watched.values()):
+                break
+        return self.result
+
+    def step(self) -> None:
+        """One interval: hit rates -> cores -> counters -> control."""
+        machine = self.machine
+        phases: Dict[str, Optional[Phase]] = {
+            vm.name: vm.workload.current_phase() for vm in self.vms
+        }
+        hit_rates, effective_ways = self._resolve_hit_rates(phases)
+
+        total_misses = 0
+        total_capacity_cycles = (
+            machine.cycles_per_interval * machine.spec.num_threads
+        )
+        for vm in self.vms:
+            phase = phases[vm.name]
+            instructions = 0
+            cycles = 0
+            l1_refs = 0
+            llc_refs = 0
+            llc_misses = 0
+            latency_acc = 0.0
+            busy = vm.busy_vcpus if phase is not None else ()
+            for thread in busy:
+                activity = machine.core_models[thread].execute_interval(
+                    phase.behavior,
+                    hit_rates[vm.name],
+                    dram_latency=self._dram_latency,
+                )
+                machine.pmus[thread].advance(
+                    activity.instructions, activity.cycles, activity.event_counts
+                )
+                instructions += activity.instructions
+                cycles += activity.cycles
+                latency_acc += activity.avg_mem_latency_cycles
+                l1_refs += (
+                    activity.event_counts[L1_CACHE_HITS]
+                    + activity.event_counts[L1_CACHE_MISSES]
+                )
+                llc_refs += activity.event_counts[LLC_REFERENCES]
+                llc_misses += activity.event_counts[LLC_MISSES]
+                total_misses += activity.event_counts[LLC_MISSES]
+
+            ipc = instructions / cycles if cycles else 0.0
+            avg_latency = latency_acc / len(busy) if busy else 0.0
+            app_metrics = self._app_metrics(vm, phase, ipc)
+            self._last_hit[vm.name] = hit_rates[vm.name]
+
+            self._report_monitoring(vm, phase, hit_rates, effective_ways, llc_misses)
+            self._record_completion(vm, phase, instructions)
+            vm.workload.advance(machine.interval_s, instructions)
+
+            self.result.records[vm.name].append(
+                VmIntervalRecord(
+                    time_s=self._time_s,
+                    vm_name=vm.name,
+                    phase_name=phase.name if phase else None,
+                    ways=effective_ways[vm.name],
+                    llc_hit_rate=hit_rates[vm.name],
+                    ipc=ipc,
+                    avg_mem_latency_cycles=avg_latency,
+                    instructions=instructions,
+                    cycles=cycles,
+                    l1_refs=l1_refs,
+                    llc_refs=llc_refs,
+                    llc_misses=llc_misses,
+                    state=self.manager.state_of(vm.name),
+                    app=app_metrics,
+                )
+            )
+
+        self.manager.control()
+        self._dram_latency = machine.dram.loaded_latency(
+            total_misses / total_capacity_cycles * machine.spec.num_threads
+        )
+        self._time_s += machine.interval_s
+
+    # -- internals ------------------------------------------------------------------
+
+    def _resolve_hit_rates(
+        self, phases: Dict[str, Optional[Phase]]
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Per-VM LLC hit rate and effective ways for this interval."""
+        machine = self.machine
+        hit: Dict[str, float] = {}
+        ways: Dict[str, float] = {}
+
+        if self.manager.mode == "shared":
+            demanding = []
+            for vm in self.vms:
+                phase = phases[vm.name]
+                if phase is None or phase.pattern is AccessPattern.NONE:
+                    hit[vm.name] = 0.0
+                    ways[vm.name] = 0.0
+                    continue
+                behavior = phase.behavior
+                if behavior.l1_miss_ratio <= 0 or phase.wss_bytes <= 0:
+                    hit[vm.name] = 0.0
+                    ways[vm.name] = 0.0
+                    continue
+                # Reference rate estimate from last interval's hit rate.
+                cpi_est = machine.core_models[vm.vcpus[0]].cpi(
+                    behavior, self._last_hit[vm.name]
+                )
+                ref_rate = (
+                    behavior.refs_per_instr
+                    * behavior.l1_miss_ratio
+                    * behavior.duty_cycle
+                    * len(vm.busy_vcpus)
+                    / cpi_est
+                )
+                demanding.append(
+                    (vm.name, CacheDemand(phase.footprint, ref_rate=ref_rate))
+                )
+            shares = machine.contention.solve([d for _, d in demanding])
+            for (name, _), share in zip(demanding, shares):
+                hit[name] = share.hit_rate
+                ways[name] = share.effective_ways
+            return hit, ways
+
+        for vm in self.vms:
+            phase = phases[vm.name]
+            w = machine.effective_ways(vm.vcpus[0])
+            ways[vm.name] = float(w)
+            if phase is None or phase.pattern is AccessPattern.NONE:
+                hit[vm.name] = 0.0
+                continue
+            hit[vm.name] = machine.analytic.hit_rate_fp(phase.footprint, w)
+        return hit, ways
+
+    def _report_monitoring(
+        self,
+        vm: VirtualMachine,
+        phase: Optional[Phase],
+        hit_rates: Dict[str, float],
+        effective_ways: Dict[str, float],
+        llc_misses: int,
+    ) -> None:
+        """Feed the CMT/MBM model: occupancy estimate plus miss traffic."""
+        cmt = self.machine.cmt
+        rmid = self._rmid_of[vm.name]
+        if phase is None or phase.wss_bytes <= 0:
+            cmt.report_occupancy(rmid, 0)
+            return
+        capacity = effective_ways[vm.name] * self.machine.spec.llc.way_bytes
+        occupancy = int(min(phase.wss_bytes, capacity))
+        cmt.report_occupancy(rmid, occupancy)
+        cmt.report_traffic(rmid, llc_misses * self.machine.spec.llc.line_size)
+
+    def _app_metrics(
+        self, vm: VirtualMachine, phase: Optional[Phase], ipc: float
+    ) -> Optional[AppMetrics]:
+        if phase is None or not isinstance(vm.workload, AppWorkload) or ipc <= 0:
+            return None
+        return vm.workload.app_metrics(
+            cpi=1.0 / ipc, frequency_hz=self.machine.spec.frequency_hz
+        )
+
+    def _record_completion(
+        self, vm: VirtualMachine, phase: Optional[Phase], instructions: int
+    ) -> None:
+        """Record a work-bounded phase's finish time with sub-interval accuracy."""
+        workload = vm.workload
+        if phase is None or not isinstance(workload, PhasedWorkload):
+            return
+        remaining = workload.remaining_instructions()
+        if remaining is None or instructions <= 0 or instructions < remaining:
+            return
+        fraction = remaining / instructions
+        finish = self._time_s + fraction * self.machine.interval_s
+        self.result.completions[vm.name].append((phase.name, finish))

@@ -1,0 +1,52 @@
+"""Workload engines: microbenchmarks, SPEC proxies, and cloud applications."""
+
+from repro.workloads.apps import AppWorkload
+from repro.workloads.base import (
+    Phase,
+    PhasedWorkload,
+    Workload,
+    idle_phase,
+    l1_miss_ratio_for,
+)
+from repro.workloads.clients import AppMetrics, ClosedLoopClient
+from repro.workloads.database import LruBufferPool, PostgresWorkload
+from repro.workloads.kvstore import RedisWorkload
+from repro.workloads.lookbusy import LookbusyWorkload, lookbusy_phase
+from repro.workloads.mload import MloadWorkload, generate_mload_offsets, mload_phase
+from repro.workloads.mlr import MlrWorkload, generate_mlr_offsets, mlr_phase
+from repro.workloads.search import ElasticsearchWorkload
+from repro.workloads.trace import TraceGenerator
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    SpecProfile,
+    spec_benchmark_names,
+    spec_workload,
+)
+
+__all__ = [
+    "AppWorkload",
+    "Phase",
+    "PhasedWorkload",
+    "Workload",
+    "idle_phase",
+    "l1_miss_ratio_for",
+    "AppMetrics",
+    "ClosedLoopClient",
+    "LruBufferPool",
+    "PostgresWorkload",
+    "RedisWorkload",
+    "LookbusyWorkload",
+    "lookbusy_phase",
+    "MloadWorkload",
+    "generate_mload_offsets",
+    "mload_phase",
+    "MlrWorkload",
+    "generate_mlr_offsets",
+    "mlr_phase",
+    "ElasticsearchWorkload",
+    "TraceGenerator",
+    "SPEC_PROFILES",
+    "SpecProfile",
+    "spec_benchmark_names",
+    "spec_workload",
+]

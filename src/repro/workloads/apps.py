@@ -1,0 +1,73 @@
+"""Base class for served applications (Redis / PostgreSQL / Elasticsearch).
+
+An :class:`AppWorkload` is a phased workload whose phase describes the
+server process's memory behaviour, plus a closed-loop client and a
+per-operation instruction cost.  The platform simulator, after computing the
+interval's CPI from the cache state, asks the app for client-observed
+metrics; those populate the paper's application tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.workloads.base import Phase, PhasedWorkload
+from repro.workloads.clients import AppMetrics, ClosedLoopClient
+
+__all__ = ["AppWorkload"]
+
+
+class AppWorkload(PhasedWorkload):
+    """A server workload measured through a closed-loop client.
+
+    Args:
+        name: Workload/VM label.
+        phases: Server-side phases (usually one steady serving phase).
+        client: The load generator.
+        instr_per_op: Retired instructions per request, in the simulator's
+            scaled units (consistent with the core model's scaled clock).
+        vcpus: Server threads available to serve requests.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        phases: Sequence[Phase],
+        client: ClosedLoopClient,
+        instr_per_op: float,
+        vcpus: int = 2,
+        start_delay_s: float = 0.0,
+    ) -> None:
+        if instr_per_op <= 0:
+            raise ValueError("instr_per_op must be positive")
+        if vcpus < 1:
+            raise ValueError("vcpus must be >= 1")
+        super().__init__(
+            name=name,
+            phases=list(phases),
+            start_delay_s=start_delay_s,
+            parallelism=vcpus,
+        )
+        self.client = client
+        self.instr_per_op = instr_per_op
+        self.vcpus = vcpus
+
+    def app_metrics(self, cpi: float, frequency_hz: float) -> Optional[AppMetrics]:
+        """Client-observed metrics for an interval at the given CPI.
+
+        Args:
+            cpi: The serving cores' cycles per instruction this interval
+                (dimensionless, so it carries over from the scaled core
+                model unchanged).
+            frequency_hz: The *real* core clock used to convert the
+                per-operation instruction cost into seconds.
+
+        Returns None while the app is idle/warming up.
+        """
+        phase = self.current_phase()
+        if phase is None or phase.name.endswith("idle"):
+            return None
+        if cpi <= 0 or frequency_hz <= 0:
+            raise ValueError("cpi and frequency must be positive")
+        service_time = self.instr_per_op * cpi / frequency_hz
+        return self.client.solve(service_time, servers=self.vcpus)

@@ -1,0 +1,54 @@
+"""lookbusy: a CPU-burning, cache-cold polite neighbor.
+
+The paper fills its background VMs with ``lookbusy`` — a utility that spins
+the CPU without meaningful memory traffic.  Under dCat such a VM is the
+textbook Donor: unhalted and retiring instructions at full tilt, yet with
+LLC references below any sensible ``llc_ref_thr``, so its reserved ways are
+harvested down to the 1-way minimum within one interval.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.analytical import AccessPattern
+from repro.cpu.coremodel import MemoryBehavior
+from repro.workloads.base import Phase, PhasedWorkload
+
+__all__ = ["lookbusy_phase", "LookbusyWorkload"]
+
+
+def lookbusy_phase(
+    duration_s: Optional[float] = None, utilization: float = 1.0
+) -> Phase:
+    """A register-resident spin phase at the given CPU utilization."""
+    if not 0 < utilization <= 1.0:
+        raise ValueError("utilization must be in (0, 1]")
+    return Phase(
+        name="lookbusy",
+        pattern=AccessPattern.NONE,
+        wss_bytes=0,
+        behavior=MemoryBehavior(
+            refs_per_instr=0.05,
+            l1_miss_ratio=0.0,
+            base_cpi=0.4,
+            duty_cycle=utilization,
+        ),
+        duration_s=duration_s,
+    )
+
+
+class LookbusyWorkload(PhasedWorkload):
+    """lookbusy as a workload (runs until the simulation ends by default)."""
+
+    def __init__(
+        self,
+        duration_s: Optional[float] = None,
+        utilization: float = 1.0,
+        name: str = "lookbusy",
+    ) -> None:
+        super().__init__(
+            name=name,
+            phases=[lookbusy_phase(duration_s, utilization)],
+            parallelism=64,
+        )

@@ -1,0 +1,199 @@
+"""Synthetic SPEC CPU2006 proxies for the paper's Figure 17 / Table 3.
+
+The paper evaluates dCat on 20 selected single-threaded SPEC CPU2006
+benchmarks, each run in a VM alongside two MLOAD-60MB noisy neighbors and
+two lookbusy VMs.  We cannot ship SPEC, so each benchmark becomes a proxy
+parameterized from the published characterization literature the paper
+itself cites (Gove's working-set-size study [16 in the paper] and Jaleel's
+pin-based memory characterization [24 in the paper]):
+
+* **working-set size** — how many ways the benchmark can productively use;
+* **CWSS/WSS ratio** — how much reuse the working set sees.  High-reuse
+  benchmarks (omnetpp, astar, xalancbmk) are modeled as ZIPF so extra cache
+  converts directly into hit rate; uniform-reuse ones as RANDOM;
+* **memory intensity** — refs/instr and L1 miss behaviour, which set how
+  much IPC moves when the LLC hit rate moves;
+* **streaming** — libquantum, lbm, milc, bwaves, leslie3d sweep large arrays
+  cyclically and cannot be helped by any realistic allocation.
+
+What the proxies must (and do) preserve is the *ordinal* structure of
+Fig. 17: which benchmarks gain from dCat, which are insensitive, and that
+static CAT never loses to shared cache for cache-resident victims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.cache.analytical import AccessPattern
+from repro.cpu.coremodel import MemoryBehavior
+from repro.mem.address import MB
+from repro.workloads.base import Phase, PhasedWorkload, l1_miss_ratio_for
+
+__all__ = ["SpecProfile", "SPEC_PROFILES", "spec_workload", "spec_benchmark_names"]
+
+
+@dataclass(frozen=True)
+class SpecProfile:
+    """Cache-relevant characterization of one SPEC CPU2006 benchmark.
+
+    Attributes:
+        name: Benchmark name (without the numeric prefix).
+        wss_bytes: LLC-relevant working-set size.
+        pattern: Reuse structure seen by the LLC.
+        refs_per_instr: Data references per instruction.
+        mlp: Memory-level parallelism.
+        base_cpi: Non-memory CPI.
+        zipf_s: Skew for ZIPF benchmarks (higher = tighter hot set).
+        instructions: Retired-instruction budget of one (scaled) run.
+    """
+
+    name: str
+    wss_bytes: int
+    pattern: AccessPattern
+    refs_per_instr: float
+    mlp: float = 2.0
+    base_cpi: float = 0.5
+    zipf_s: float = 0.99
+    private_miss_ratio: Optional[float] = None
+    hot_bytes: Optional[int] = None
+    hot_fraction: Optional[float] = None
+    instructions: int = 32_000_000
+
+    def phase(self) -> Phase:
+        # The fraction of references that reach the LLC is filtered by the
+        # *private* caches (L1+L2).  Small-working-set benchmarks are mostly
+        # L2-resident, which is why the paper sees them barely react to LLC
+        # management at all.
+        miss_ratio = (
+            self.private_miss_ratio
+            if self.private_miss_ratio is not None
+            else l1_miss_ratio_for(self.pattern, self.wss_bytes)
+        )
+        return Phase(
+            name=self.name,
+            pattern=self.pattern,
+            wss_bytes=self.wss_bytes,
+            behavior=MemoryBehavior(
+                refs_per_instr=self.refs_per_instr,
+                l1_miss_ratio=miss_ratio,
+                base_cpi=self.base_cpi,
+                mlp=self.mlp,
+            ),
+            zipf_s=self.zipf_s if self.pattern is AccessPattern.ZIPF else None,
+            hot_bytes=self.hot_bytes,
+            hot_fraction=self.hot_fraction,
+            instructions=self.instructions,
+        )
+
+
+def _p(
+    name: str,
+    wss_mb: float,
+    pattern: AccessPattern,
+    refs: float,
+    mlp: float = 2.0,
+    base_cpi: float = 0.5,
+    zipf_s: float = 0.99,
+    pmr: Optional[float] = None,
+    hot_mb: Optional[float] = None,
+    hot_fraction: Optional[float] = None,
+    instructions: int = 32_000_000,
+) -> SpecProfile:
+    return SpecProfile(
+        name=name,
+        wss_bytes=int(wss_mb * MB),
+        pattern=pattern,
+        refs_per_instr=refs,
+        mlp=mlp,
+        base_cpi=base_cpi,
+        zipf_s=zipf_s,
+        private_miss_ratio=pmr,
+        hot_bytes=int(hot_mb * MB) if hot_mb else None,
+        hot_fraction=hot_fraction,
+        instructions=instructions,
+    )
+
+
+# The paper's 20 selected benchmarks.  Cache-sensitive high-reuse set first
+# (omnetpp and astar are the paper's named big winners: high CWSS/WSS), then
+# moderately sensitive, then streaming, then compute-bound donors.
+SPEC_PROFILES: Dict[str, SpecProfile] = {
+    p.name: p
+    for p in [
+        # High reuse of a multi-way working set: strong dCat receivers
+        # (omnetpp/astar are the paper's named big winners).
+        _p("omnetpp", 24.0, AccessPattern.ZIPF, 0.35, mlp=1.5, zipf_s=0.85, pmr=0.6),
+        _p("astar", 16.0, AccessPattern.ZIPF, 0.30, mlp=1.3, zipf_s=0.85, pmr=0.5),
+        _p("xalancbmk", 28.0, AccessPattern.ZIPF, 0.32, mlp=1.6, zipf_s=0.9, pmr=0.5),
+        _p("mcf", 120.0, AccessPattern.HOTCOLD, 0.35, mlp=1.4, pmr=0.5,
+           hot_mb=16.0, hot_fraction=0.6),
+        _p("soplex", 100.0, AccessPattern.HOTCOLD, 0.30, mlp=1.8, pmr=0.45,
+           hot_mb=14.0, hot_fraction=0.5),
+        _p("sphinx3", 12.0, AccessPattern.ZIPF, 0.30, mlp=1.8, zipf_s=0.9, pmr=0.4),
+        # Moderate working sets: static CAT mostly suffices, modest gains;
+        # a large slice of their traffic is absorbed by the private L2.
+        _p("gcc", 6.0, AccessPattern.ZIPF, 0.28, mlp=1.8, zipf_s=1.0, pmr=0.05),
+        _p("bzip2", 8.0, AccessPattern.RANDOM, 0.26, mlp=2.0, pmr=0.035),
+        _p("gobmk", 2.0, AccessPattern.RANDOM, 0.22, mlp=2.0, pmr=0.006),
+        _p("sjeng", 3.0, AccessPattern.RANDOM, 0.22, mlp=2.0, pmr=0.006),
+        _p("h264ref", 2.5, AccessPattern.RANDOM, 0.30, mlp=3.0, pmr=0.008),
+        _p("gromacs", 1.5, AccessPattern.RANDOM, 0.25, mlp=2.5, pmr=0.006),
+        # Streaming sweeps: classified Streaming by dCat, no cache helps.
+        # Longer budgets so the classification dynamics fully play out.
+        _p("libquantum", 64.0, AccessPattern.SEQUENTIAL, 0.25, mlp=8.0,
+           instructions=64_000_000),
+        _p("lbm", 64.0, AccessPattern.SEQUENTIAL, 0.30, mlp=8.0,
+           instructions=64_000_000),
+        _p("milc", 64.0, AccessPattern.SEQUENTIAL, 0.28, mlp=6.0,
+           instructions=64_000_000),
+        _p("bwaves", 64.0, AccessPattern.SEQUENTIAL, 0.28, mlp=8.0,
+           instructions=64_000_000),
+        _p("leslie3d", 48.0, AccessPattern.SEQUENTIAL, 0.28, mlp=6.0,
+           instructions=64_000_000),
+        # Compute bound / private-cache resident: donors immediately.
+        _p("perlbench", 0.8, AccessPattern.RANDOM, 0.25, mlp=3.0, base_cpi=0.45,
+           pmr=0.004),
+        _p("hmmer", 0.5, AccessPattern.RANDOM, 0.35, mlp=4.0, base_cpi=0.4,
+           pmr=0.003),
+        _p("namd", 0.4, AccessPattern.RANDOM, 0.22, mlp=4.0, base_cpi=0.4,
+           pmr=0.003),
+    ]
+}
+
+
+def spec_benchmark_names() -> list:
+    """The 20 benchmark names, in the canonical report order."""
+    return list(SPEC_PROFILES)
+
+
+def spec_workload(
+    name: str,
+    instructions: Optional[int] = None,
+    start_delay_s: float = 0.0,
+) -> PhasedWorkload:
+    """Instantiate one SPEC proxy as a run-to-completion workload.
+
+    Args:
+        name: Benchmark name from :data:`SPEC_PROFILES`.
+        instructions: Override the run's instruction budget (scaled units).
+    """
+    try:
+        profile = SPEC_PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown SPEC benchmark {name!r}; choose from {sorted(SPEC_PROFILES)}"
+        ) from None
+    phase = profile.phase()
+    if instructions is not None:
+        phase = Phase(
+            name=phase.name,
+            pattern=phase.pattern,
+            wss_bytes=phase.wss_bytes,
+            behavior=phase.behavior,
+            page_size=phase.page_size,
+            zipf_s=phase.zipf_s,
+            instructions=instructions,
+        )
+    return PhasedWorkload(name=name, phases=[phase], start_delay_s=start_delay_s)

@@ -1,0 +1,124 @@
+"""Tests for repro.cache.che: the characteristic-time contention model."""
+
+import pytest
+
+from repro.cache.analytical import AccessPattern, AnalyticalCacheModel, Footprint
+from repro.cache.che import CheContentionModel
+from repro.cache.contention import CacheDemand, SharedCacheContentionModel
+from repro.mem.address import MB, CacheGeometry
+
+
+@pytest.fixture()
+def che():
+    return CheContentionModel(AnalyticalCacheModel(CacheGeometry.xeon_e5()))
+
+
+def demand(pattern, wss_mb, rate, **kw):
+    return CacheDemand(Footprint(pattern, int(wss_mb * MB), **kw), rate)
+
+
+class TestSoloBehaviour:
+    def test_empty(self, che):
+        assert che.solve([]) == []
+
+    def test_fitting_set_fully_resident(self, che):
+        shares = che.solve([demand(AccessPattern.RANDOM, 8, 0.05)])
+        assert shares[0].hit_rate > 0.95
+        assert shares[0].effective_ways * 2.25 >= 7.0  # ~its whole 8 MB
+
+    def test_oversized_set_partially_resident(self, che):
+        shares = che.solve([demand(AccessPattern.RANDOM, 90, 0.05)])
+        assert 0.3 < shares[0].hit_rate < 0.7
+        assert shares[0].effective_ways <= 20.0 + 1e-6
+
+    def test_zero_rate_means_nothing_resident(self, che):
+        shares = che.solve([demand(AccessPattern.RANDOM, 8, 0.0)])
+        assert shares[0].hit_rate == 0.0
+
+
+class TestCapacityConservation:
+    def test_total_occupancy_bounded(self, che):
+        shares = che.solve(
+            [
+                demand(AccessPattern.RANDOM, 30, 0.05),
+                demand(AccessPattern.RANDOM, 30, 0.05),
+                demand(AccessPattern.SEQUENTIAL, 60, 0.05),
+            ]
+        )
+        total = sum(s.effective_ways for s in shares)
+        assert total <= 20.0 * 1.01
+
+
+class TestProtectionSemantics:
+    def test_hot_set_resists_streaming(self, che):
+        """The defining difference vs the insertion model: a rapidly
+        re-touched small set stays resident under streaming pressure."""
+        victim = demand(AccessPattern.RANDOM, 2, 0.05)
+        stream = demand(AccessPattern.SEQUENTIAL, 60, 0.05)
+        solo = che.solve([victim])[0].hit_rate
+        crowded = che.solve([victim, stream, stream])[0].hit_rate
+        assert crowded > solo - 0.1  # barely dented
+
+    def test_cold_large_set_yields_to_streams(self, che):
+        victim = demand(AccessPattern.RANDOM, 40, 0.002)  # slow touch rate
+        stream = demand(AccessPattern.SEQUENTIAL, 60, 0.1)
+        solo = che.solve([victim])[0].hit_rate
+        crowded = che.solve([victim, stream, stream])[0].hit_rate
+        assert crowded < solo - 0.2
+
+    def test_time_scale_shrinks_protection(self):
+        base = CheContentionModel(AnalyticalCacheModel(CacheGeometry.xeon_e5()))
+        harsh = CheContentionModel(
+            AnalyticalCacheModel(CacheGeometry.xeon_e5()), time_scale=0.05
+        )
+        victim = demand(AccessPattern.RANDOM, 6, 0.02)
+        stream = demand(AccessPattern.SEQUENTIAL, 60, 0.1)
+        soft = base.solve([victim, stream, stream])[0].hit_rate
+        hard = harsh.solve([victim, stream, stream])[0].hit_rate
+        assert hard < soft
+
+
+class TestPatternSpecifics:
+    def test_zipf_head_survives(self, che):
+        z = demand(AccessPattern.ZIPF, 90, 0.05, zipf_s=1.1)
+        stream = demand(AccessPattern.SEQUENTIAL, 60, 0.1)
+        share = che.solve([z, stream, stream])[0]
+        # The hot head keeps a meaningful hit rate even when crowded.
+        assert share.hit_rate > 0.2
+
+    def test_hotcold_tiers(self, che):
+        hc = demand(
+            AccessPattern.HOTCOLD, 90, 0.05, hot_bytes=8 * MB, hot_fraction=0.8
+        )
+        share = che.solve([hc])[0]
+        assert share.hit_rate > 0.7
+
+
+class TestAgainstInsertionModel:
+    def test_both_models_agree_when_everything_fits(self):
+        geo = CacheGeometry.xeon_e5()
+        analytic = AnalyticalCacheModel(geo)
+        che = CheContentionModel(analytic)
+        insertion = SharedCacheContentionModel(analytic)
+        demands = [demand(AccessPattern.RANDOM, 6, 0.05)]
+        h_che = che.solve(demands)[0].hit_rate
+        h_ins = insertion.solve(demands)[0].hit_rate
+        assert h_che == pytest.approx(h_ins, abs=0.05)
+
+    def test_models_disagree_on_hot_victim_vs_streams(self):
+        """The documented philosophical difference (see module docstring)."""
+        geo = CacheGeometry.xeon_e5()
+        analytic = AnalyticalCacheModel(geo)
+        che = CheContentionModel(analytic)
+        insertion = SharedCacheContentionModel(analytic)
+        # A hot victim (rapid per-line re-touch): Che protects it almost
+        # fully; the insertion model lets the streams crowd it.
+        demands = [
+            demand(AccessPattern.RANDOM, 6, 0.1),
+            demand(AccessPattern.SEQUENTIAL, 60, 0.1),
+            demand(AccessPattern.SEQUENTIAL, 60, 0.1),
+        ]
+        h_che = che.solve(demands)[0].hit_rate
+        h_ins = insertion.solve(demands)[0].hit_rate
+        assert h_che > 0.9
+        assert h_ins < h_che - 0.15

@@ -1,0 +1,132 @@
+"""Tests for repro.cache.conflict: scatter math vs the exact cache model.
+
+The closed-form conflict/hit-rate math is the foundation the fast platform
+model rests on, so this file validates it against (a) first principles and
+(b) the exact tag-array simulator running real page-table layouts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.conflict import (
+    analyze_buffer_scatter,
+    conflicted_set_fraction,
+    lines_per_set,
+    set_occupancy_histogram,
+    simulated_scatter_hit_rate,
+    uniform_irm_hit_rate,
+)
+from repro.cache.setassoc import SetAssociativeCache
+from repro.mem.address import MB, CacheGeometry
+from repro.mem.paging import PAGE_2M, PAGE_4K, PageTable
+from repro.workloads.mlr import generate_mlr_offsets
+
+
+class TestLinesPerSet:
+    def test_counts_sum_to_total_lines(self):
+        geo = CacheGeometry(line_size=64, num_sets=256, num_ways=8)
+        table = PageTable(rng=np.random.default_rng(0))
+        buf = table.map_buffer(1 * MB)
+        per_set = lines_per_set(table.physical_lines(buf), geo)
+        assert per_set.sum() == 1 * MB // 64
+
+    def test_histogram_fractions_sum_to_one(self):
+        geo = CacheGeometry(line_size=64, num_sets=256, num_ways=8)
+        table = PageTable(rng=np.random.default_rng(1))
+        buf = table.map_buffer(512 * 1024)
+        hist = set_occupancy_histogram(lines_per_set(table.physical_lines(buf), geo))
+        assert sum(hist.values()) == pytest.approx(1.0)
+
+
+class TestIrmHitRate:
+    def test_balanced_fit_hits_fully(self):
+        per_set = np.full(16, 2, dtype=np.int64)
+        assert uniform_irm_hit_rate(per_set, allocated_ways=2) == 1.0
+
+    def test_overloaded_sets_hit_proportionally(self):
+        per_set = np.array([4, 0, 0, 0], dtype=np.int64)
+        # One set with 4 lines and 2 ways: hit rate 2/4 on all accesses.
+        assert uniform_irm_hit_rate(per_set, 2) == pytest.approx(0.5)
+
+    def test_mixed(self):
+        per_set = np.array([1, 3], dtype=np.int64)
+        # min(1,2) + min(3,2) over 4 lines = 3/4.
+        assert uniform_irm_hit_rate(per_set, 2) == pytest.approx(0.75)
+
+    def test_empty_scatter(self):
+        assert uniform_irm_hit_rate(np.zeros(4, dtype=np.int64), 2) == 0.0
+
+    def test_invalid_ways(self):
+        with pytest.raises(ValueError):
+            uniform_irm_hit_rate(np.ones(4, dtype=np.int64), 0)
+
+
+class TestConflictedFraction:
+    def test_no_conflicts(self):
+        per_set = np.array([1, 2, 0], dtype=np.int64)
+        assert conflicted_set_fraction(per_set, 2) == 0.0
+
+    def test_half_conflicted(self):
+        per_set = np.array([3, 1], dtype=np.int64)
+        assert conflicted_set_fraction(per_set, 2) == pytest.approx(0.5)
+
+
+class TestPaperFigure3:
+    """The quantitative claims of paper Fig. 3."""
+
+    def test_xeon_d_4k_conflict_fraction(self):
+        # Paper: ~32.5% of sets get 3+ lines (2 MB WSS, 4 KB pages).
+        scatter = analyze_buffer_scatter(
+            2 * MB, CacheGeometry.xeon_d(), allocated_ways=2, page_size=PAGE_4K
+        )
+        frac3 = sum(v for k, v in scatter.histogram.items() if k >= 3)
+        assert 0.25 < frac3 < 0.40
+
+    def test_xeon_d_hugepage_perfect(self):
+        # Paper: huge pages make the 2 MB working set conflict free.
+        scatter = analyze_buffer_scatter(
+            2 * MB, CacheGeometry.xeon_d(), allocated_ways=2, page_size=PAGE_2M
+        )
+        assert scatter.conflicted_fraction == 0.0
+        assert scatter.irm_hit_rate == 1.0
+
+    def test_xeon_e5_hugepage_still_conflicts(self):
+        # Paper: ~11.2% of sets get 3 lines for 4.5 MB over 3 huge pages.
+        scatter = analyze_buffer_scatter(
+            int(4.5 * MB), CacheGeometry.xeon_e5(), allocated_ways=2, page_size=PAGE_2M, seed=3
+        )
+        frac3 = sum(v for k, v in scatter.histogram.items() if k >= 3)
+        assert 0.0 < frac3 < 0.30
+        assert scatter.irm_hit_rate < 1.0
+
+
+class TestClosedFormAgainstExactCache:
+    """The headline validation: formula == tag-array simulation."""
+
+    @pytest.mark.parametrize("ways,page_size", [(2, PAGE_4K), (2, PAGE_2M), (4, PAGE_4K)])
+    def test_irm_hit_rate_matches_simulation(self, ways, page_size):
+        geo = CacheGeometry(line_size=64, num_sets=512, num_ways=8)
+        table = PageTable(rng=np.random.default_rng(9), page_size=page_size)
+        wss = 512 * 64 * ways  # sized to the allocation
+        buf = table.map_buffer(wss)
+        layout = table.physical_lines(buf)
+        predicted = uniform_irm_hit_rate(lines_per_set(layout, geo), ways)
+
+        cache = SetAssociativeCache(geo)
+        mask = (1 << ways) - 1
+        rng = np.random.default_rng(10)
+        offsets = generate_mlr_offsets(wss, 60_000, rng=rng)
+        paddrs = table.translate_buffer(buf, offsets)
+        cache.access_many(paddrs[:30_000], mask=mask)
+        hits = cache.access_many(paddrs[30_000:], mask=mask)
+        measured = hits / 30_000
+        assert measured == pytest.approx(predicted, abs=0.04)
+
+    def test_scatter_helper_is_consistent(self):
+        geo = CacheGeometry(line_size=64, num_sets=1024, num_ways=8)
+        # 1 MB working set over a 4-way share of 64 KB/way: about a quarter
+        # of the lines fit, so the IRM hit rate sits near 0.25.
+        rate = simulated_scatter_hit_rate(
+            1 * MB, geo, allocated_ways=4, samples=3, seed=5
+        )
+        assert 0.15 < rate < 0.35

@@ -1,0 +1,95 @@
+"""Tests for repro.cache.contention: shared-LLC capacity division."""
+
+import pytest
+
+from repro.cache.analytical import AccessPattern, AnalyticalCacheModel, Footprint
+from repro.cache.contention import CacheDemand, SharedCacheContentionModel
+from repro.mem.address import MB, CacheGeometry
+
+
+@pytest.fixture()
+def solver():
+    return SharedCacheContentionModel(AnalyticalCacheModel(CacheGeometry.xeon_e5()))
+
+
+def mload(ref_rate=0.048):
+    return CacheDemand.of(AccessPattern.SEQUENTIAL, 60 * MB, ref_rate)
+
+
+def mlr(wss_mb, ref_rate=0.03):
+    return CacheDemand.of(AccessPattern.RANDOM, wss_mb * MB, ref_rate)
+
+
+class TestConservation:
+    def test_shares_never_exceed_capacity(self, solver):
+        demands = [mlr(16), mload(), mload(), mlr(8)]
+        shares = solver.solve(demands)
+        assert sum(s.effective_ways for s in shares) <= 20.0 + 1e-6
+
+    def test_share_capped_by_working_set(self, solver):
+        shares = solver.solve([mlr(2)])
+        # A 2 MB working set can never occupy more than ~0.9 ways.
+        assert shares[0].effective_ways <= 2 * MB / (2.25 * MB) + 1e-6
+
+    def test_empty_input(self, solver):
+        assert solver.solve([]) == []
+
+
+class TestSoloWorkloads:
+    def test_fitting_workload_fully_hits(self, solver):
+        shares = solver.solve([mlr(6)])
+        assert shares[0].hit_rate == pytest.approx(1.0, abs=0.01)
+
+    def test_oversized_random_gets_whole_cache(self, solver):
+        shares = solver.solve([mlr(90)])
+        assert shares[0].effective_ways == pytest.approx(20.0, rel=0.05)
+        assert shares[0].hit_rate == pytest.approx(0.5, abs=0.05)
+
+    def test_streaming_never_reuses(self, solver):
+        shares = solver.solve([mload()])
+        assert shares[0].hit_rate == 0.0
+
+
+class TestInterference:
+    def test_streaming_neighbors_crowd_the_victim(self, solver):
+        alone = solver.solve([mlr(16)])[0]
+        crowded = solver.solve([mlr(16), mload(), mload()])[0]
+        assert crowded.hit_rate < alone.hit_rate - 0.2
+
+    def test_more_pressure_less_share(self, solver):
+        mild = solver.solve([mlr(16), mload(0.01)])[0]
+        harsh = solver.solve([mlr(16), mload(0.2)])[0]
+        assert harsh.effective_ways < mild.effective_ways
+
+    def test_insertion_rate_drives_division(self, solver):
+        heavy = CacheDemand.of(AccessPattern.RANDOM, 60 * MB, 0.10)
+        light = CacheDemand.of(AccessPattern.RANDOM, 60 * MB, 0.01)
+        shares = solver.solve([heavy, light])
+        assert shares[0].effective_ways > shares[1].effective_ways
+
+
+class TestValidation:
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            CacheDemand.of(AccessPattern.RANDOM, MB, -1.0)
+
+    def test_damping_validated(self):
+        with pytest.raises(ValueError):
+            SharedCacheContentionModel(
+                AnalyticalCacheModel(CacheGeometry.xeon_e5()), damping=0.0
+            )
+
+    def test_footprint_demand_construction(self):
+        fp = Footprint(
+            AccessPattern.HOTCOLD, 100 * MB, hot_bytes=8 * MB, hot_fraction=0.6
+        )
+        demand = CacheDemand(fp, 0.05)
+        assert demand.footprint is fp
+
+
+class TestDeterminism:
+    def test_solver_is_deterministic(self, solver):
+        demands = [mlr(16), mload(), mlr(4)]
+        a = solver.solve(demands)
+        b = solver.solve(demands)
+        assert [s.effective_ways for s in a] == [s.effective_ways for s in b]

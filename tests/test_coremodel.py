@@ -1,0 +1,160 @@
+"""Tests for repro.cpu: core timing model and socket topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.coremodel import CoreTimingModel, MemoryBehavior
+from repro.cpu.socket import SocketSpec
+from repro.hwcounters.events import L1_CACHE_HITS, L1_CACHE_MISSES, LLC_MISSES, LLC_REFERENCES
+
+
+def quiet_model(**kw):
+    kw.setdefault("noise_sigma", 0.0)
+    return CoreTimingModel(**kw)
+
+
+MEMHEAVY = MemoryBehavior(refs_per_instr=0.25, l1_miss_ratio=1.0, base_cpi=0.5, mlp=1.5)
+
+
+class TestBehaviorValidation:
+    def test_rejects_bad_l1_ratio(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(l1_miss_ratio=1.5)
+
+    def test_rejects_bad_mlp(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(mlp=0.5)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(duty_cycle=-0.1)
+
+    def test_rejects_zero_cpi(self):
+        with pytest.raises(ValueError):
+            MemoryBehavior(base_cpi=0.0)
+
+
+class TestCpi:
+    def test_cpu_bound_behavior_is_base_cpi(self):
+        model = quiet_model()
+        b = MemoryBehavior(refs_per_instr=0.1, l1_miss_ratio=0.0, base_cpi=0.6)
+        assert model.cpi(b, llc_hit_rate=0.0) == pytest.approx(0.6)
+
+    def test_cpi_decreases_with_hit_rate(self):
+        model = quiet_model()
+        cpis = [model.cpi(MEMHEAVY, h) for h in (0.0, 0.5, 0.9, 1.0)]
+        assert cpis == sorted(cpis, reverse=True)
+
+    def test_mlp_divides_the_stall(self):
+        model = quiet_model()
+        chained = MemoryBehavior(refs_per_instr=0.25, l1_miss_ratio=1.0, mlp=1.0)
+        streaming = MemoryBehavior(refs_per_instr=0.25, l1_miss_ratio=1.0, mlp=8.0)
+        assert model.cpi(chained, 0.0) > model.cpi(streaming, 0.0)
+
+    def test_known_value(self):
+        model = quiet_model(llc_latency=40.0)
+        b = MemoryBehavior(refs_per_instr=0.25, l1_miss_ratio=1.0, base_cpi=0.5, mlp=1.0)
+        # All LLC hits: cpi = 0.5 + 0.25 * 1.0 * 40 = 10.5
+        assert model.cpi(b, 1.0) == pytest.approx(10.5)
+
+    def test_invalid_hit_rate_rejected(self):
+        with pytest.raises(ValueError):
+            quiet_model().cpi(MEMHEAVY, 1.5)
+
+
+class TestCounterIdentities:
+    def test_counter_relations_hold(self):
+        model = quiet_model()
+        act = model.execute_interval(MEMHEAVY, llc_hit_rate=0.8)
+        l1_ref = act.event_counts[L1_CACHE_HITS] + act.event_counts[L1_CACHE_MISSES]
+        assert l1_ref == pytest.approx(act.instructions * 0.25, rel=0.01)
+        assert act.event_counts[LLC_REFERENCES] == pytest.approx(l1_ref, rel=0.01)
+        assert act.event_counts[LLC_MISSES] == pytest.approx(
+            act.event_counts[LLC_REFERENCES] * 0.2, rel=0.02
+        )
+        assert act.ipc == pytest.approx(1.0 / model.cpi(MEMHEAVY, 0.8), rel=0.01)
+
+    def test_duty_cycle_scales_cycles(self):
+        model = quiet_model(cycles_per_interval=1_000_000)
+        half = MemoryBehavior(refs_per_instr=0.1, duty_cycle=0.5)
+        act = model.execute_interval(half, 0.0)
+        assert act.cycles == 500_000
+
+    def test_avg_latency_decreases_with_hit_rate(self):
+        model = quiet_model()
+        lat_low = model.execute_interval(MEMHEAVY, 0.1).avg_mem_latency_cycles
+        lat_high = model.execute_interval(MEMHEAVY, 0.99).avg_mem_latency_cycles
+        assert lat_high < lat_low
+
+    def test_loaded_dram_raises_latency(self):
+        model = quiet_model()
+        idle = model.execute_interval(MEMHEAVY, 0.5)
+        loaded = model.execute_interval(MEMHEAVY, 0.5, dram_latency=600.0)
+        assert loaded.avg_mem_latency_cycles > idle.avg_mem_latency_cycles
+        assert loaded.ipc < idle.ipc
+
+    def test_miss_traffic_helper(self):
+        model = quiet_model()
+        act = model.execute_interval(MEMHEAVY, 0.0)
+        traffic = model.miss_traffic_lines_per_cycle(act)
+        assert traffic == pytest.approx(
+            act.event_counts[LLC_MISSES] / act.cycles
+        )
+
+
+class TestNoise:
+    def test_zero_noise_deterministic(self):
+        a = quiet_model().execute_interval(MEMHEAVY, 0.5)
+        b = quiet_model().execute_interval(MEMHEAVY, 0.5)
+        assert a.instructions == b.instructions
+
+    def test_noise_jitters_ipc(self):
+        model = CoreTimingModel(noise_sigma=0.01, rng=np.random.default_rng(0))
+        vals = {model.execute_interval(MEMHEAVY, 0.5).instructions for _ in range(8)}
+        assert len(vals) > 1
+
+    def test_noise_is_small(self):
+        model = CoreTimingModel(noise_sigma=0.005, rng=np.random.default_rng(0))
+        base = quiet_model().execute_interval(MEMHEAVY, 0.5).ipc
+        samples = [model.execute_interval(MEMHEAVY, 0.5).ipc for _ in range(50)]
+        assert all(abs(s / base - 1) < 0.05 for s in samples)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    hit=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    refs=st.floats(min_value=0.0, max_value=1.0),
+    miss=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_counters_never_negative(hit, refs, miss):
+    model = quiet_model()
+    b = MemoryBehavior(refs_per_instr=refs, l1_miss_ratio=miss)
+    act = model.execute_interval(b, hit)
+    assert act.instructions >= 0
+    assert all(v >= 0 for v in act.event_counts.values())
+
+
+class TestSocket:
+    def test_paper_machine(self):
+        spec = SocketSpec.xeon_e5_2697v4()
+        assert spec.num_cores == 18
+        assert spec.num_threads == 36
+        assert spec.llc.num_ways == 20
+
+    def test_thread_siblings(self):
+        spec = SocketSpec.xeon_e5_2697v4()
+        assert spec.thread_siblings(0) == (0, 18)
+        assert spec.thread_siblings(18) == (0, 18)
+        assert spec.core_of(19) == 1
+
+    def test_bounds(self):
+        spec = SocketSpec.xeon_d()
+        with pytest.raises(ValueError):
+            spec.thread_siblings(99)
+        with pytest.raises(ValueError):
+            spec.core_of(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SocketSpec("x", 0, 1, 1e9, SocketSpec.xeon_d().llc)

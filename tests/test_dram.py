@@ -1,0 +1,37 @@
+"""Tests for repro.mem.dram: loaded-latency model."""
+
+import pytest
+
+from repro.mem.dram import DramModel
+
+
+class TestUtilization:
+    def test_zero_traffic(self):
+        assert DramModel().utilization(0.0) == 0.0
+
+    def test_clamps_to_one(self):
+        model = DramModel(peak_lines_per_cycle=0.4)
+        assert model.utilization(10.0) == 1.0
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().utilization(-0.1)
+
+
+class TestLoadedLatency:
+    def test_idle_latency_at_zero_load(self):
+        model = DramModel(idle_latency_cycles=200.0)
+        assert model.loaded_latency(0.0) == pytest.approx(200.0)
+
+    def test_monotonically_increasing(self):
+        model = DramModel()
+        lats = [model.loaded_latency(x) for x in (0.0, 0.1, 0.2, 0.3, 0.39)]
+        assert lats == sorted(lats)
+
+    def test_capped_at_max_inflation(self):
+        model = DramModel(idle_latency_cycles=200.0, max_inflation=4.0)
+        assert model.loaded_latency(100.0) == pytest.approx(800.0)
+
+    def test_half_load_inflation(self):
+        model = DramModel(idle_latency_cycles=100.0, peak_lines_per_cycle=1.0)
+        assert model.loaded_latency(0.5) == pytest.approx(200.0)

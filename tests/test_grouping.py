@@ -1,0 +1,87 @@
+"""Tests for repro.core.grouping: tenant grouping beyond 16 classes."""
+
+import pytest
+
+from repro.core.grouping import TenantGrouper
+from repro.core.states import WorkloadState
+
+K = WorkloadState.KEEPER
+D = WorkloadState.DONOR
+S = WorkloadState.STREAMING
+R = WorkloadState.RECEIVER
+
+
+class TestPlentyOfSlots:
+    def test_everyone_isolated_when_room(self):
+        grouper = TenantGrouper(max_slots=15, stickiness=False)
+        states = {f"t{i}": K for i in range(10)}
+        plan = grouper.plan(states)
+        assert plan.num_slots == 10
+        assert all(len(members) == 1 for members in plan.groups.values())
+
+    def test_empty_input(self):
+        plan = TenantGrouper().plan({})
+        assert plan.num_slots == 0
+
+
+class TestScarceSlots:
+    def test_donors_pool_when_slots_run_out(self):
+        grouper = TenantGrouper(max_slots=4, stickiness=False)
+        states = {"a": K, "b": R, "c": D, "d": D, "e": S}
+        plan = grouper.plan(states, order=["a", "b", "c", "d", "e"])
+        # The three poolable tenants share one slot; the two isolating ones
+        # get dedicated slots.
+        pooled_slot = plan.slot_of["c"]
+        assert plan.slot_of["d"] == pooled_slot
+        assert plan.slot_of["e"] == pooled_slot
+        assert plan.slot_of["a"] != pooled_slot
+        assert plan.slot_of["b"] != pooled_slot
+
+    def test_isolating_overflow_shares_final_slot(self):
+        grouper = TenantGrouper(max_slots=3, stickiness=False)
+        states = {f"t{i}": R for i in range(5)}
+        plan = grouper.plan(states, order=sorted(states))
+        assert plan.num_slots <= 3
+        counts = sorted(len(m) for m in plan.groups.values())
+        assert counts == [1, 1, 3]
+
+    def test_slot_budget_respected(self):
+        grouper = TenantGrouper(max_slots=5, stickiness=False)
+        states = {f"t{i}": (D if i % 2 else K) for i in range(20)}
+        plan = grouper.plan(states)
+        assert plan.num_slots <= 5
+        assert set(plan.slot_of) == set(states)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            TenantGrouper(max_slots=0).plan({"a": K})
+
+
+class TestStickiness:
+    def test_stable_tenants_keep_their_slots(self):
+        grouper = TenantGrouper(max_slots=4)
+        states = {"a": K, "b": R, "c": D, "d": D, "e": S}
+        first = grouper.plan(states, order=["a", "b", "c", "d", "e"])
+        second = grouper.plan(states, order=["b", "a", "d", "c", "e"])
+        # Same behaviour, reshuffled input order: nobody moves.
+        assert second.slot_of == first.slot_of
+
+    def test_waking_donor_leaves_the_pool(self):
+        grouper = TenantGrouper(max_slots=4)
+        states = {"a": K, "b": R, "c": D, "d": D, "e": S}
+        first = grouper.plan(states, order=["a", "b", "c", "d", "e"])
+        pool = first.slot_of["d"]
+        # Tenant c becomes cache-hungry: it must leave the shared slot.
+        states["c"] = R
+        second = grouper.plan(states, order=["a", "b", "c", "d", "e"])
+        assert second.slot_of["c"] != pool or not second.groups.get(pool) or (
+            len(second.groups[second.slot_of["c"]]) == 1
+        )
+
+    def test_plan_inverse_views_agree(self):
+        grouper = TenantGrouper(max_slots=4, stickiness=False)
+        states = {"a": K, "b": D, "c": D}
+        plan = grouper.plan(states)
+        for slot, members in plan.groups.items():
+            for m in members:
+                assert plan.slot_of[m] == slot

@@ -1,0 +1,183 @@
+"""Tests for repro.harness: results containers, reporting, registry, CLI."""
+
+import pytest
+
+from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.harness.report import (
+    render_bars,
+    render_experiment,
+    render_series,
+    render_table,
+)
+from repro.harness.results import (
+    BarGroup,
+    ExperimentResult,
+    Series,
+    TableResult,
+    geomean,
+)
+from repro.harness.scenarios import build_stage, manager_factories, paper_machine
+
+
+class TestGeomean:
+    def test_known_value(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", [1.0], [1.0, 2.0])
+
+    def test_lookup(self):
+        s = Series("s", [1.0, 2.0], [10.0, 20.0])
+        assert s.at(2.0) == 20.0
+        assert s.final == 20.0
+        assert s.peak == 20.0
+        with pytest.raises(ValueError):
+            s.at(9.0)
+
+
+class TestBarGroup:
+    def test_ratio(self):
+        g = BarGroup("g", {"a": 2.0, "b": 4.0})
+        assert g.ratio("b", "a") == 2.0
+        assert g["a"] == 2.0
+
+    def test_zero_denominator(self):
+        g = BarGroup("g", {"a": 0.0, "b": 1.0})
+        with pytest.raises(ZeroDivisionError):
+            g.ratio("b", "a")
+
+
+class TestTableResult:
+    def test_row_arity_checked(self):
+        t = TableResult(headers=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column_and_lookup(self):
+        t = TableResult(headers=["name", "value"])
+        t.add_row("x", 1.0)
+        t.add_row("y", 2.0)
+        assert t.column("value") == [1.0, 2.0]
+        assert t.lookup("name", "y", "value") == 2.0
+        with pytest.raises(KeyError):
+            t.lookup("name", "z", "value")
+
+
+class TestExperimentResult:
+    def test_typed_accessors(self):
+        r = ExperimentResult("x", "t")
+        r.add("s", Series("s", [1.0], [1.0]))
+        r.add("b", BarGroup("b", {"k": 1.0}))
+        assert r.series("s").name == "s"
+        with pytest.raises(TypeError):
+            r.table("s")
+
+    def test_duplicate_artifact_rejected(self):
+        r = ExperimentResult("x", "t")
+        r.add("s", Series("s", [], []))
+        with pytest.raises(ValueError):
+            r.add("s", Series("s", [], []))
+
+
+class TestRendering:
+    def test_table(self):
+        t = TableResult(headers=["name", "v"])
+        t.add_row("row", 1.2345)
+        text = render_table(t)
+        assert "name" in text and "1.234" in text
+
+    def test_bars(self):
+        text = render_bars(BarGroup("g", {"aa": 2.0, "b": 1.0}))
+        assert "#" in text and "aa" in text
+
+    def test_empty_bars(self):
+        assert "(empty)" in render_bars(BarGroup("g", {}))
+
+    def test_series_subsamples(self):
+        s = Series("s", list(map(float, range(1000))), [0.0] * 1000)
+        text = render_series(s, max_points=10)
+        assert text.count("(") <= 26
+
+    def test_full_experiment(self):
+        r = ExperimentResult("fig0", "demo")
+        r.add("t", TableResult(headers=["h"]))
+        r.note("a note")
+        text = render_experiment(r)
+        assert "fig0" in text and "a note" in text
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for required in [
+            "fig1", "fig2", "fig3", "fig5", "fig8", "fig9", "fig10", "fig11",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "tab1", "tab3", "tab4", "tab5", "tab6",
+        ]:
+            assert required in EXPERIMENTS
+
+    def test_ablations_registered(self):
+        assert any(k.startswith("ablation_") for k in EXPERIMENTS)
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_run_fast_experiment(self):
+        result = run_experiment("fig3")
+        assert result.experiment_id == "fig3"
+        assert "summary" in result.artifacts
+
+
+class TestScenarios:
+    def test_build_stage_counts(self):
+        from repro.workloads.mlr import MlrWorkload
+        from repro.mem.address import MB
+
+        machine = paper_machine()
+        vms = build_stage(
+            machine,
+            [MlrWorkload(8 * MB, name="t")],
+            baseline_ways=3,
+            n_mload=2,
+            n_lookbusy=2,
+        )
+        assert len(vms) == 5
+        names = {vm.name for vm in vms}
+        assert "t" in names
+        assert sum("mload" in n for n in names) == 2
+
+    def test_manager_factories(self):
+        factories = manager_factories()
+        assert set(factories) == {"shared", "static", "dcat"}
+        assert factories["dcat"]().name == "dcat"
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig17" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_renders(self, capsys):
+        from repro.harness.cli import main
+
+        assert main(["run", "fig3"]) == 0
+        assert "fig3" in capsys.readouterr().out

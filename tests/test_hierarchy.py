@@ -1,0 +1,115 @@
+"""Tests for repro.cache.hierarchy: inclusive L1/L2/LLC composition."""
+
+import pytest
+
+from repro.cache.hierarchy import CacheHierarchy, HitLevel
+from repro.mem.address import CacheGeometry
+
+
+def make_hierarchy(num_cores=2, l2=False):
+    llc = CacheGeometry(line_size=64, num_sets=64, num_ways=8)
+    l1 = CacheGeometry(line_size=64, num_sets=4, num_ways=2)
+    l2_geo = CacheGeometry(line_size=64, num_sets=16, num_ways=4) if l2 else None
+    return CacheHierarchy(num_cores, llc, l1_geometry=l1, l2_geometry=l2_geo)
+
+
+class TestAccessPath:
+    def test_cold_access_goes_to_dram(self):
+        h = make_hierarchy()
+        assert h.access(0, 0) is HitLevel.DRAM
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.access(0, 0)
+        assert h.access(0, 0) is HitLevel.L1
+
+    def test_llc_serves_cross_core_sharing(self):
+        h = make_hierarchy()
+        h.access(0, 0)
+        # Core 1 misses its private L1 but finds the line in the shared LLC.
+        assert h.access(1, 0) is HitLevel.LLC
+
+    def test_l1_capacity_spill_hits_llc(self):
+        h = make_hierarchy()
+        # 4 sets x 2 ways = 8 lines of L1; touch 16 distinct lines.
+        for i in range(16):
+            h.access(0, i * 64)
+        assert h.access(0, 0) is HitLevel.LLC
+
+    def test_stats_accumulate(self):
+        h = make_hierarchy()
+        h.access(0, 0)
+        h.access(0, 0)
+        h.access(0, 64)
+        s = h.stats[0]
+        assert s.l1_refs == 3
+        assert s.l1_misses == 2
+        assert s.llc_refs == 2
+        assert s.llc_misses == 2
+
+    def test_l2_level_reported(self):
+        h = make_hierarchy(l2=True)
+        for i in range(16):  # spill L1 (8 lines), stay within L2 (64 lines)
+            h.access(0, i * 64)
+        assert h.access(0, 0) is HitLevel.L2
+
+
+class TestInclusivity:
+    def test_llc_eviction_back_invalidates_l1(self):
+        llc = CacheGeometry(line_size=64, num_sets=1, num_ways=2)
+        l1 = CacheGeometry(line_size=64, num_sets=1, num_ways=4)
+        h = CacheHierarchy(1, llc, l1_geometry=l1)
+        span = 64  # one set: every line aliases
+        h.access(0, 0 * span)
+        h.access(0, 1 * span)
+        # Third distinct line evicts line 0 from the 2-way LLC; inclusivity
+        # demands it leaves the L1 too, even though the L1 had room.
+        h.access(0, 2 * span)
+        assert h.access(0, 0) is HitLevel.DRAM
+
+    def test_inclusive_invariant_holds_under_traffic(self):
+        h = make_hierarchy()
+        paddrs = [i * 64 for i in range(300)]
+        for p in paddrs:
+            h.access(0, p)
+            h.access(1, (p * 7) % (300 * 64) // 64 * 64)
+        assert h.check_inclusive(paddrs)
+
+
+class TestWayMasks:
+    def test_mask_programming(self):
+        h = make_hierarchy()
+        h.set_way_mask(0, 0b0001)
+        assert h.way_mask(0) == 0b0001
+
+    def test_invalid_mask_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError):
+            h.set_way_mask(0, 0)
+
+    def test_masked_core_cannot_evict_neighbor_lines(self):
+        llc = CacheGeometry(line_size=64, num_sets=1, num_ways=4)
+        h = CacheHierarchy(2, llc, l1_geometry=CacheGeometry(64, 1, 1))
+        h.set_way_mask(0, 0b1100)
+        h.set_way_mask(1, 0b0011)
+        span = 64
+        h.access(0, 0)
+        # Core 1 thrashes its two ways with many lines.
+        for tag in range(2, 40):
+            h.access(1, tag * span)
+        # Core 0's line survived in its protected ways.
+        assert h.access(0, 0) in (HitLevel.L1, HitLevel.LLC)
+
+
+class TestValidation:
+    def test_needs_a_core(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy(0, CacheGeometry())
+
+    def test_line_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="line size"):
+            CacheHierarchy(
+                1,
+                CacheGeometry(line_size=64),
+                l1_geometry=CacheGeometry(line_size=128, num_sets=4, num_ways=2),
+            )

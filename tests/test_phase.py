@@ -1,0 +1,123 @@
+"""Tests for repro.core.phase: the phase-change detector."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.core.phase import PhaseDetector, PhaseSignature
+
+
+class TestDetection:
+    def test_first_observation_is_not_a_change(self):
+        det = PhaseDetector()
+        assert det.observe(0.25) is False
+
+    def test_small_drift_not_a_change(self):
+        det = PhaseDetector(threshold=0.10)
+        det.observe(0.25)
+        assert det.observe(0.26) is False
+        assert det.observe(0.27) is False
+
+    def test_large_shift_detected(self):
+        det = PhaseDetector(threshold=0.10)
+        det.observe(0.25)
+        assert det.observe(0.35) is True
+
+    def test_threshold_boundary(self):
+        det = PhaseDetector(threshold=0.10)
+        det.observe(0.20)
+        assert det.observe(0.22) is False  # exactly 10%
+        det2 = PhaseDetector(threshold=0.10)
+        det2.observe(0.20)
+        assert det2.observe(0.2201) is True
+
+    def test_reference_updates_on_change(self):
+        det = PhaseDetector(threshold=0.10)
+        det.observe(0.20)
+        det.observe(0.35)  # change; new reference 0.35
+        assert det.observe(0.36) is False
+
+    def test_drift_below_threshold_never_fires(self):
+        det = PhaseDetector(threshold=0.10)
+        det.observe(0.25)
+        # 2% wobble around the reference stays quiet forever.
+        for i in range(50):
+            ratio = 0.25 * (1.0 + 0.02 * ((-1) ** i))
+            assert det.observe(ratio) is False
+
+
+class TestIdleTransitions:
+    def test_active_to_idle_is_a_change(self):
+        det = PhaseDetector()
+        det.observe(0.25)
+        assert det.observe(0.0, idle=True) is True
+
+    def test_idle_to_active_is_a_change(self):
+        det = PhaseDetector()
+        det.observe(0.0, idle=True)
+        assert det.observe(0.25) is True
+
+    def test_idle_while_idle_is_quiet(self):
+        det = PhaseDetector()
+        det.observe(0.0, idle=True)
+        assert det.observe(0.0, idle=True) is False
+
+    def test_initial_idle_not_a_change(self):
+        det = PhaseDetector()
+        assert det.observe(0.0, idle=True) is False
+
+    def test_tiny_ratio_treated_as_idle(self):
+        det = PhaseDetector()
+        det.observe(0.25)
+        assert det.observe(1e-9) is True
+        assert det.current_signature.idle
+
+
+class TestSignatures:
+    def test_same_phase_same_signature(self):
+        det = PhaseDetector()
+        assert det.signature_for(0.25) == det.signature_for(0.2501)
+
+    def test_distant_ratios_differ(self):
+        det = PhaseDetector()
+        assert det.signature_for(0.25) != det.signature_for(0.40)
+
+    def test_signature_stable_across_restart(self):
+        """A re-encountered phase must re-derive the same signature."""
+        det1, det2 = PhaseDetector(), PhaseDetector()
+        det1.observe(0.25)
+        det2.observe(0.1)
+        det2.observe(0.25)
+        assert det1.current_signature == det2.current_signature
+
+    def test_idle_signature(self):
+        det = PhaseDetector()
+        assert det.current_signature == PhaseSignature.idle_signature()
+
+    def test_reset(self):
+        det = PhaseDetector()
+        det.observe(0.25)
+        det.reset()
+        assert det.observe(0.5) is False  # first observation again
+
+
+class TestValidation:
+    def test_threshold_range(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseDetector(threshold=1.0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    base=st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+    factor=st.floats(min_value=0.5, max_value=2.0, allow_nan=False),
+)
+def test_detection_matches_relative_rule(base, factor):
+    # Stay away from the exact threshold boundary, where float rounding
+    # of base * factor legitimately decides either way.
+    assume(abs(abs(factor - 1.0) - 0.10) > 1e-3)
+    det = PhaseDetector(threshold=0.10)
+    det.observe(base)
+    changed = det.observe(base * factor)
+    assert changed == (abs(factor - 1.0) > 0.10)

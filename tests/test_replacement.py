@@ -1,0 +1,124 @@
+"""Tests for repro.cache.replacement: LRU / PLRU / random policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import (
+    LruPolicy,
+    RandomPolicy,
+    TreePlruPolicy,
+    make_policy,
+)
+
+
+FULL_4 = 0b1111
+
+
+class TestLru:
+    def test_victim_is_least_recently_touched(self):
+        lru = LruPolicy(num_sets=1, num_ways=4)
+        for way in (0, 1, 2, 3):
+            lru.touch(0, way)
+        assert lru.victim(0, FULL_4) == 0
+        lru.touch(0, 0)
+        assert lru.victim(0, FULL_4) == 1
+
+    def test_mask_restricts_victim(self):
+        lru = LruPolicy(num_sets=1, num_ways=4)
+        for way in (0, 1, 2, 3):
+            lru.touch(0, way)
+        # Way 0 is globally LRU but excluded by the mask.
+        assert lru.victim(0, 0b1110) == 1
+
+    def test_sets_are_independent(self):
+        lru = LruPolicy(num_sets=2, num_ways=2)
+        lru.touch(0, 1)
+        lru.touch(1, 0)
+        assert lru.victim(0, 0b11) == 0
+        assert lru.victim(1, 0b11) == 1
+
+    def test_reset_forgets(self):
+        lru = LruPolicy(num_sets=1, num_ways=2)
+        lru.touch(0, 1)
+        lru.reset()
+        # After reset all stamps equal; victim defaults to the lowest way.
+        assert lru.victim(0, 0b11) == 0
+
+    def test_empty_mask_rejected(self):
+        with pytest.raises(ValueError):
+            LruPolicy(1, 4).victim(0, 0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=7), min_size=8, max_size=64))
+    def test_matches_reference_lru(self, touches):
+        """LruPolicy agrees with an order-list reference implementation."""
+        lru = LruPolicy(num_sets=1, num_ways=8)
+        order = list(range(8))  # front = least recent
+        for way in touches:
+            lru.touch(0, way)
+            order.remove(way)
+            order.append(way)
+        assert lru.victim(0, (1 << 8) - 1) == order[0]
+
+
+class TestTreePlru:
+    def test_victim_avoids_recent_touch(self):
+        plru = TreePlruPolicy(num_sets=1, num_ways=4)
+        plru.touch(0, 0)
+        assert plru.victim(0, FULL_4) != 0
+
+    def test_round_robin_like_filling(self):
+        plru = TreePlruPolicy(num_sets=1, num_ways=4)
+        seen = set()
+        for _ in range(4):
+            victim = plru.victim(0, FULL_4)
+            seen.add(victim)
+            plru.touch(0, victim)
+        assert seen == {0, 1, 2, 3}
+
+    def test_mask_respected(self):
+        plru = TreePlruPolicy(num_sets=1, num_ways=8)
+        for _ in range(32):
+            assert plru.victim(0, 0b00001100) in (2, 3)
+
+    def test_non_power_of_two_ways(self):
+        plru = TreePlruPolicy(num_sets=1, num_ways=20)
+        victim = plru.victim(0, (1 << 20) - 1)
+        assert 0 <= victim < 20
+
+    def test_reset(self):
+        plru = TreePlruPolicy(num_sets=1, num_ways=4)
+        plru.touch(0, 3)
+        plru.reset()
+        assert plru.victim(0, FULL_4) == 0
+
+
+class TestRandom:
+    def test_only_allowed_ways(self):
+        policy = RandomPolicy(1, 8, rng=np.random.default_rng(0))
+        for _ in range(64):
+            assert policy.victim(0, 0b10100000) in (5, 7)
+
+    def test_deterministic_with_seed(self):
+        a = RandomPolicy(1, 8, rng=np.random.default_rng(5))
+        b = RandomPolicy(1, 8, rng=np.random.default_rng(5))
+        assert [a.victim(0, 255) for _ in range(16)] == [
+            b.victim(0, 255) for _ in range(16)
+        ]
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls", [("lru", LruPolicy), ("plru", TreePlruPolicy), ("random", RandomPolicy)]
+    )
+    def test_by_name(self, name, cls):
+        assert isinstance(make_policy(name, 4, 4), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown"):
+            make_policy("mru", 4, 4)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            LruPolicy(0, 4)

@@ -1,0 +1,43 @@
+"""Tests for the sparkline renderer and experiment-wide rendering paths."""
+
+from repro.harness.report import render_series, render_sparkline
+from repro.harness.results import Series
+
+
+class TestSparkline:
+    def test_empty_series(self):
+        assert "(empty)" in render_sparkline(Series("s", [], []))
+
+    def test_flat_series_renders_full_level(self):
+        text = render_sparkline(Series("s", [0.0, 1.0, 2.0], [5.0, 5.0, 5.0]))
+        assert "@@@" in text
+        assert "[5..5]" in text
+
+    def test_range_annotated(self):
+        text = render_sparkline(
+            Series("s", list(map(float, range(10))), [float(i) for i in range(10)])
+        )
+        assert "[0..9]" in text
+
+    def test_monotone_series_monotone_glyphs(self):
+        levels = " .:-=+*#%@"
+        text = render_sparkline(
+            Series("s", list(map(float, range(10))), [float(i) for i in range(10)])
+        )
+        body = text.split("|")[1]
+        ranks = [levels.index(c) for c in body]
+        assert ranks == sorted(ranks)
+
+    def test_subsampled_to_width(self):
+        ys = [float(i % 7) for i in range(1000)]
+        text = render_sparkline(Series("s", list(map(float, range(1000))), ys), width=40)
+        body = text.split("|")[1]
+        assert len(body) <= 70  # width plus stride rounding
+
+    def test_long_series_gets_sparkline_in_render_series(self):
+        s = Series("s", list(map(float, range(20))), [float(i) for i in range(20)])
+        assert "|" in render_series(s)
+
+    def test_short_series_skips_sparkline(self):
+        s = Series("s", [0.0, 1.0], [1.0, 2.0])
+        assert "|" not in render_series(s)

@@ -1,0 +1,172 @@
+"""Tests for repro.cat.resctrl: the in-memory resctrl filesystem."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cat.cat import CacheAllocationTechnology
+from repro.cat.resctrl import (
+    ResctrlError,
+    ResctrlFilesystem,
+    format_cpu_list,
+    parse_cpu_list,
+)
+
+
+@pytest.fixture()
+def fs():
+    cat = CacheAllocationTechnology(num_ways=12, num_cores=8)
+    return ResctrlFilesystem(cat, way_size_bytes=1 << 20), cat
+
+
+class TestCpuLists:
+    def test_parse_singletons(self):
+        assert parse_cpu_list("0,2,5") == {0, 2, 5}
+
+    def test_parse_ranges(self):
+        assert parse_cpu_list("0-3,8") == {0, 1, 2, 3, 8}
+
+    def test_parse_empty(self):
+        assert parse_cpu_list("") == set()
+
+    def test_parse_bad_range(self):
+        with pytest.raises(ResctrlError):
+            parse_cpu_list("5-2")
+
+    def test_format(self):
+        assert format_cpu_list({0, 1, 2, 5}) == "0-2,5"
+        assert format_cpu_list(set()) == ""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.sets(st.integers(min_value=0, max_value=64), max_size=20))
+    def test_round_trip(self, cpus):
+        assert parse_cpu_list(format_cpu_list(cpus)) == cpus
+
+
+class TestGroups:
+    def test_mkdir_allocates_closids(self, fs):
+        filesystem, _ = fs
+        g1 = filesystem.mkdir("tenant-a")
+        g2 = filesystem.mkdir("tenant-b")
+        assert g1.closid == 1
+        assert g2.closid == 2
+        assert filesystem.groups() == ["tenant-a", "tenant-b"]
+
+    def test_duplicate_mkdir_fails(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("x")
+        with pytest.raises(ResctrlError, match="File exists"):
+            filesystem.mkdir("x")
+
+    def test_closid_exhaustion(self, fs):
+        filesystem, _ = fs
+        for i in range(15):  # CLOSID 0 is the root group
+            filesystem.mkdir(f"g{i}")
+        with pytest.raises(ResctrlError, match="No space"):
+            filesystem.mkdir("one-too-many")
+
+    def test_rmdir_returns_cpus_to_root(self, fs):
+        filesystem, cat = fs
+        filesystem.mkdir("g")
+        filesystem.write("g/cpus_list", "2-3")
+        filesystem.rmdir("g")
+        assert cat.core_cos(2) == 0
+        assert 2 in parse_cpu_list(filesystem.read("cpus_list"))
+
+    def test_rmdir_root_forbidden(self, fs):
+        filesystem, _ = fs
+        with pytest.raises(ResctrlError, match="default group"):
+            filesystem.rmdir("")
+
+    def test_invalid_names(self, fs):
+        filesystem, _ = fs
+        with pytest.raises(ResctrlError):
+            filesystem.mkdir("a/b")
+
+
+class TestSchemata:
+    def test_write_programs_cbm(self, fs):
+        filesystem, cat = fs
+        filesystem.mkdir("g")
+        filesystem.write("g/schemata", "L3:0=3f")
+        group_closid = 1
+        assert cat.cos_mask(group_closid) == 0x3F
+
+    def test_read_back(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        filesystem.write("g/schemata", "L3:0=7")
+        assert filesystem.read("g/schemata").strip() == "L3:0=7"
+
+    def test_non_contiguous_rejected(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        with pytest.raises(ResctrlError, match="Invalid argument"):
+            filesystem.write("g/schemata", "L3:0=5")
+
+    def test_empty_mask_rejected(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        with pytest.raises(ResctrlError):
+            filesystem.write("g/schemata", "L3:0=0")
+
+    def test_unknown_resource_rejected(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        with pytest.raises(ResctrlError, match="unsupported"):
+            filesystem.write("g/schemata", "MB:0=50")
+
+    def test_unknown_cache_id_rejected(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        with pytest.raises(ResctrlError, match="unknown cache"):
+            filesystem.write("g/schemata", "L3:1=3")
+
+
+class TestCpusFile:
+    def test_write_moves_cores(self, fs):
+        filesystem, cat = fs
+        filesystem.mkdir("g")
+        filesystem.write("g/cpus_list", "0-1")
+        assert cat.core_cos(0) == 1
+        assert cat.core_cos(1) == 1
+
+    def test_cores_leave_previous_group(self, fs):
+        filesystem, cat = fs
+        filesystem.mkdir("a")
+        filesystem.mkdir("b")
+        filesystem.write("a/cpus_list", "0-3")
+        filesystem.write("b/cpus_list", "2-3")
+        assert parse_cpu_list(filesystem.read("a/cpus_list")) == {0, 1}
+        assert cat.core_cos(2) == 2
+
+    def test_nonexistent_cpu_rejected(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        with pytest.raises(ResctrlError, match="does not exist"):
+            filesystem.write("g/cpus_list", "99")
+
+
+class TestInfoAndSize:
+    def test_info_files(self, fs):
+        filesystem, _ = fs
+        assert filesystem.read("info/L3/cbm_mask").strip() == "fff"
+        assert filesystem.read("info/L3/min_cbm_bits").strip() == "1"
+        assert filesystem.read("info/L3/num_closids").strip() == "16"
+
+    def test_size_reflects_schemata(self, fs):
+        filesystem, _ = fs
+        filesystem.mkdir("g")
+        filesystem.write("g/schemata", "L3:0=f")
+        assert filesystem.read("g/size").strip() == f"L3:0={4 << 20}"
+
+    def test_unknown_file(self, fs):
+        filesystem, _ = fs
+        with pytest.raises(ResctrlError, match="No such file"):
+            filesystem.read("info/L3/nope")
+        with pytest.raises(ResctrlError):
+            filesystem.read("bogus_file")
+
+    def test_write_readonly_file(self, fs):
+        filesystem, _ = fs
+        with pytest.raises(ResctrlError, match="Permission denied"):
+            filesystem.write("size", "1")

@@ -1,0 +1,162 @@
+"""Failure-injection and edge-condition tests across the full stack."""
+
+import pytest
+
+from repro.core.config import DCatConfig
+from repro.harness.scenarios import build_stage, run_scenario
+from repro.mem.address import MB
+from repro.platform.machine import Machine
+from repro.platform.managers import DCatManager, StaticCatManager
+from repro.platform.sim import CloudSimulation
+from repro.platform.vm import VirtualMachine, pin_vms
+from repro.workloads.base import PhasedWorkload, idle_phase
+from repro.workloads.lookbusy import LookbusyWorkload
+from repro.workloads.mlr import MlrWorkload, mlr_phase
+from repro.workloads.spec import spec_workload
+
+
+class TestWorkloadChurn:
+    def test_vm_finishing_mid_run_releases_its_ways(self):
+        """A run-to-completion tenant goes idle; dCat harvests its ways."""
+        machine = Machine(seed=3, cycles_per_interval=500_000)
+        vms = pin_vms(
+            [
+                VirtualMachine(
+                    "short",
+                    spec_workload("omnetpp", instructions=1_000_000),
+                    baseline_ways=5,
+                ),
+                VirtualMachine(
+                    "long",
+                    MlrWorkload(16 * MB, start_delay_s=1.0, name="long"),
+                    baseline_ways=5,
+                ),
+            ],
+            machine.spec,
+        )
+        sim = CloudSimulation(machine, vms, DCatManager())
+        result = sim.run(30.0)
+        assert vms[0].workload.finished
+        # The finished tenant sits at the minimum; the survivor harvested.
+        assert result.final("short", "ways") == 1.0
+        assert result.final("long", "ways") > 5.0
+
+    def test_rapid_phase_flapping_never_breaks_invariants(self):
+        """A tenant alternating phases every two intervals stays managed."""
+
+        def factory(machine):
+            phases = []
+            for i in range(8):
+                p = mlr_phase(4 * MB if i % 2 else 12 * MB, duration_s=2.0,
+                              name=f"flap-{i % 2}")
+                from dataclasses import replace
+
+                p = replace(
+                    p,
+                    behavior=replace(
+                        p.behavior, refs_per_instr=0.25 if i % 2 else 0.4
+                    ),
+                )
+                phases.append(p)
+            phases.append(idle_phase())
+            workload = PhasedWorkload(name="flappy", phases=phases)
+            return build_stage(machine, [workload], baseline_ways=3, n_lookbusy=4)
+
+        result = run_scenario(factory, DCatManager(), duration_s=20.0, seed=3)
+        ways = result.series("flappy", "ways")
+        assert all(1 <= w <= 20 for w in ways)
+        # Phase changes keep reclaiming it to baseline: it returns to 3
+        # multiple times.
+        assert ways.count(3.0) >= 3
+
+
+class TestExtremeNoise:
+    def test_controller_survives_loud_measurement_noise(self):
+        machine = Machine(seed=3, noise_sigma=0.05)  # 10x the default
+        vms = pin_vms(
+            [
+                VirtualMachine(
+                    "t",
+                    MlrWorkload(8 * MB, start_delay_s=1.0, name="t"),
+                    baseline_ways=3,
+                ),
+                VirtualMachine("lb", LookbusyWorkload(name="lb"), baseline_ways=3),
+            ],
+            machine.spec,
+        )
+        result = CloudSimulation(machine, vms, DCatManager()).run(25.0)
+        # Noise may wobble decisions; the allocation must stay sane and the
+        # workload must still end at or above its baseline.
+        ways = result.series("t", "ways")
+        assert all(1 <= w <= 20 for w in ways)
+        assert result.final("t", "ways") >= 3
+
+
+class TestDegenerateConfigurations:
+    def test_single_vm_machine(self):
+        machine = Machine(seed=1, cycles_per_interval=500_000)
+        vms = pin_vms(
+            [VirtualMachine("only", MlrWorkload(8 * MB, name="only"), baseline_ways=3)],
+            machine.spec,
+        )
+        result = CloudSimulation(machine, vms, DCatManager()).run(15.0)
+        # With the whole socket to itself it converges at its preferred size.
+        assert result.final("only", "ways") >= 7
+
+    def test_all_idle_cluster(self):
+        machine = Machine(seed=1, cycles_per_interval=500_000)
+        vms = pin_vms(
+            [
+                VirtualMachine(
+                    f"idle-{i}",
+                    PhasedWorkload(name=f"idle-{i}", phases=[idle_phase()]),
+                    baseline_ways=3,
+                )
+                for i in range(5)
+            ],
+            machine.spec,
+        )
+        result = CloudSimulation(machine, vms, DCatManager()).run(5.0)
+        for i in range(5):
+            assert result.final(f"idle-{i}", "ways") == 1.0
+
+    def test_tiny_interval(self):
+        machine = Machine(seed=1, interval_s=0.25, cycles_per_interval=250_000)
+        vms = pin_vms(
+            [VirtualMachine("t", MlrWorkload(8 * MB, name="t"), baseline_ways=3)],
+            machine.spec,
+        )
+        config = DCatConfig(interval_s=0.25)
+        result = CloudSimulation(machine, vms, DCatManager(config=config)).run(5.0)
+        assert len(result.timeline("t")) == 20
+
+    def test_baselines_exactly_filling_the_cache(self):
+        machine = Machine(seed=1, cycles_per_interval=500_000)
+        vms = pin_vms(
+            [
+                VirtualMachine(
+                    f"w{i}",
+                    MlrWorkload(8 * MB, name=f"w{i}"),
+                    baseline_ways=4,
+                )
+                for i in range(5)  # 5 x 4 = all 20 ways
+            ],
+            machine.spec,
+        )
+        result = CloudSimulation(machine, vms, DCatManager()).run(10.0)
+        total = sum(result.final(f"w{i}", "ways") for i in range(5))
+        assert total <= 20
+
+
+class TestStaticManagerEdges:
+    def test_static_manager_is_truly_static(self):
+        def factory(machine):
+            return build_stage(
+                machine,
+                [MlrWorkload(16 * MB, start_delay_s=1.0, name="t")],
+                baseline_ways=3,
+                n_lookbusy=4,
+            )
+
+        result = run_scenario(factory, StaticCatManager(), duration_s=15.0, seed=3)
+        assert set(result.series("t", "ways")) == {3.0}

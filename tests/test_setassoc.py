@@ -1,0 +1,200 @@
+"""Tests for repro.cache.setassoc: the exact CAT-partitionable cache."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.setassoc import SetAssociativeCache
+from repro.mem.address import CacheGeometry
+
+
+def tiny_cache(num_sets=4, num_ways=4, **kw):
+    return SetAssociativeCache(
+        CacheGeometry(line_size=64, num_sets=num_sets, num_ways=num_ways), **kw
+    )
+
+
+def addr(set_index, tag, geo):
+    return (tag * geo.num_sets + set_index) * geo.line_size
+
+
+class TestBasicAccess:
+    def test_first_access_misses_then_hits(self):
+        cache = tiny_cache()
+        assert not cache.access(0).hit
+        assert cache.access(0).hit
+
+    def test_same_line_different_offset_hits(self):
+        cache = tiny_cache()
+        cache.access(0)
+        assert cache.access(63).hit
+        assert not cache.access(64).hit  # next line
+
+    def test_stats_count(self):
+        cache = tiny_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert cache.stats.accesses == 3
+        assert cache.stats.miss_rate == pytest.approx(2 / 3)
+
+    def test_capacity_eviction(self):
+        cache = tiny_cache(num_sets=1, num_ways=2)
+        geo = cache.geometry
+        for tag in range(3):
+            cache.access(addr(0, tag, geo))
+        # Tag 0 was LRU and must be gone.
+        assert not cache.access(addr(0, 0, geo)).hit
+        assert cache.stats.evictions >= 1
+
+    def test_lru_order_respected(self):
+        cache = tiny_cache(num_sets=1, num_ways=2)
+        geo = cache.geometry
+        cache.access(addr(0, 0, geo))
+        cache.access(addr(0, 1, geo))
+        cache.access(addr(0, 0, geo))  # refresh tag 0
+        cache.access(addr(0, 2, geo))  # evicts tag 1
+        assert cache.access(addr(0, 0, geo)).hit
+        assert not cache.access(addr(0, 1, geo)).hit
+
+
+class TestCatSemantics:
+    def test_fill_restricted_to_mask(self):
+        cache = tiny_cache(num_sets=1, num_ways=4)
+        geo = cache.geometry
+        for tag in range(8):
+            result = cache.access(addr(0, tag, geo), mask=0b0011)
+            assert result.way in (0, 1)
+
+    def test_hit_allowed_outside_mask(self):
+        """CAT restricts allocation, not lookup."""
+        cache = tiny_cache(num_sets=1, num_ways=4)
+        geo = cache.geometry
+        # Fill way 3 under a mask containing only way 3.
+        cache.access(addr(0, 9, geo), mask=0b1000)
+        # A core restricted to ways 0-1 still hits on that line.
+        assert cache.access(addr(0, 9, geo), mask=0b0011).hit
+
+    def test_masked_workload_cannot_evict_other_ways(self):
+        cache = tiny_cache(num_sets=1, num_ways=4)
+        geo = cache.geometry
+        cache.access(addr(0, 1, geo), mask=0b1100, cos=1)
+        cache.access(addr(0, 2, geo), mask=0b1100, cos=1)
+        # A heavy workload confined to ways 0-1 thrashes only those.
+        for tag in range(10, 30):
+            cache.access(addr(0, tag, geo), mask=0b0011, cos=2)
+        assert cache.access(addr(0, 1, geo)).hit
+        assert cache.access(addr(0, 2, geo)).hit
+
+    def test_invalid_mask_rejected(self):
+        cache = tiny_cache(num_ways=4)
+        with pytest.raises(ValueError):
+            cache.access(0, mask=0)
+        with pytest.raises(ValueError):
+            cache.access(0, mask=0b10000)
+
+    def test_per_cos_accounting(self):
+        cache = tiny_cache()
+        cache.access(0, cos=3)
+        cache.access(0, cos=3)
+        cache.access(64, cos=5)
+        assert cache.stats.per_cos_misses[3] == 1
+        assert cache.stats.per_cos_hits[3] == 1
+        assert cache.stats.per_cos_misses[5] == 1
+
+
+class TestBatchAccess:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=15),
+    )
+    def test_access_many_equals_scalar_loop(self, line_ids, mask):
+        geo = CacheGeometry(line_size=64, num_sets=4, num_ways=4)
+        a = SetAssociativeCache(geo)
+        b = SetAssociativeCache(geo)
+        paddrs = np.array(line_ids, dtype=np.int64) * 64
+        hits_batch = a.access_many(paddrs, mask=mask)
+        hits_scalar = sum(b.access(int(p), mask=mask).hit for p in paddrs)
+        assert hits_batch == hits_scalar
+        assert np.array_equal(a._tags, b._tags)
+
+    def test_batch_stats(self):
+        cache = tiny_cache()
+        paddrs = np.array([0, 0, 64, 64], dtype=np.int64)
+        hits = cache.access_many(paddrs)
+        assert hits == 2
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+
+
+class TestMaintenance:
+    def test_flush_ways_drops_lines(self):
+        cache = tiny_cache(num_sets=2, num_ways=2)
+        geo = cache.geometry
+        cache.access(addr(0, 0, geo), mask=0b01)
+        cache.access(addr(1, 0, geo), mask=0b10)
+        dropped = cache.flush_ways(0b01)
+        assert dropped == 1
+        assert not cache.access(addr(0, 0, geo)).hit  # flushed
+        assert cache.access(addr(1, 0, geo)).hit  # way 1 untouched
+
+    def test_flush_reports_all_valid_lines(self):
+        cache = tiny_cache(num_sets=4, num_ways=1)
+        geo = cache.geometry
+        for s in range(4):
+            cache.access(addr(s, 7, geo))
+        assert cache.flush_ways(0b1) == 4
+
+    def test_eviction_callback_invoked(self):
+        evicted = []
+        cache = SetAssociativeCache(
+            CacheGeometry(line_size=64, num_sets=1, num_ways=1),
+            eviction_callback=evicted.append,
+        )
+        geo = cache.geometry
+        cache.access(addr(0, 0, geo))
+        cache.access(addr(0, 1, geo))
+        assert evicted == [geo.line_id_of(0, 0)]
+
+    def test_occupancy_by_cos(self):
+        cache = tiny_cache(num_sets=2, num_ways=2)
+        geo = cache.geometry
+        cache.access(addr(0, 0, geo), mask=0b01, cos=1)
+        cache.access(addr(1, 0, geo), mask=0b10, cos=2)
+        occ = cache.occupancy_by_cos()
+        assert occ[1] == 1
+        assert occ[2] == 1
+        assert cache.resident_lines() == 2
+
+    def test_contains_line(self):
+        cache = tiny_cache()
+        geo = cache.geometry
+        cache.access(addr(2, 5, geo))
+        assert cache.contains_line(geo.line_id_of(2, 5))
+        assert not cache.contains_line(geo.line_id_of(2, 6))
+
+
+class TestSteadyStateHitRates:
+    def test_working_set_fitting_in_allocation_hits(self):
+        """A random working set within the masked capacity converges to ~100%."""
+        geo = CacheGeometry(line_size=64, num_sets=64, num_ways=8)
+        cache = SetAssociativeCache(geo)
+        rng = np.random.default_rng(0)
+        nlines = 64 * 4  # fits exactly in 4 ways if balanced
+        # Sequential fill is perfectly balanced across sets.
+        lines = np.arange(nlines, dtype=np.int64) * 64
+        cache.access_many(lines, mask=0b1111)
+        hits = cache.access_many(lines, mask=0b1111)
+        assert hits == nlines
+
+    def test_cyclic_thrash_yields_zero_reuse(self):
+        """A cyclic sweep larger than the allocation never re-hits under LRU."""
+        geo = CacheGeometry(line_size=64, num_sets=16, num_ways=4)
+        cache = SetAssociativeCache(geo)
+        lines = np.arange(16 * 2, dtype=np.int64) * 64  # 2x a 1-way allocation
+        for _ in range(4):
+            hits = cache.access_many(lines, mask=0b0001)
+        assert hits == 0
