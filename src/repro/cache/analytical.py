@@ -40,7 +40,7 @@ import numpy as np
 from scipy import stats
 
 from repro.mem.address import CacheGeometry
-from repro.mem.paging import PAGE_2M, PAGE_4K
+from repro.mem.paging import PAGE_4K
 
 __all__ = ["AccessPattern", "Footprint", "AnalyticalCacheModel"]
 

@@ -23,7 +23,7 @@ import numpy as np
 from numpy.random import default_rng
 
 from repro.mem.address import CacheGeometry
-from repro.mem.paging import PAGE_2M, PAGE_4K, PageTable
+from repro.mem.paging import PAGE_4K, PageTable
 
 __all__ = [
     "lines_per_set",

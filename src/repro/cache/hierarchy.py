@@ -16,7 +16,7 @@ performing the back-invalidation.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.mem.address import CacheGeometry

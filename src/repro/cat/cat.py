@@ -12,7 +12,7 @@ the way an IA32_L3_MASK_n write takes effect on real silicon.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.cat.cos import MAX_COS, validate_cbm
 

@@ -17,7 +17,7 @@ factor from CPUID) and cumulative memory-traffic byte counts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 __all__ = ["CmtReading", "CacheMonitoringTechnology"]

@@ -11,7 +11,7 @@ memory accesses per instruction, a 3x-baseline streaming threshold, and a
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["AllocationPolicy", "DCatConfig"]
 

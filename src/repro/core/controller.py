@@ -24,6 +24,7 @@ resctrl) on real hardware.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -35,9 +36,21 @@ from repro.core.config import DCatConfig
 from repro.core.states import WorkloadState
 from repro.core.stats import WorkloadRecord
 from repro.core.phase import PhaseDetector
+from repro.engine.events import (
+    AllocationPlanned,
+    EventBus,
+    IntervalFinished,
+    IntervalStarted,
+    MasksProgrammed,
+    NULL_BUS,
+    PhaseChanged,
+    SampleCollected,
+    StateTransition,
+)
+from repro.engine.pipeline import FunctionStage, StagedLoop
 from repro.hwcounters.perfmon import CounterSample, PerfMonitor
 
-__all__ = ["WorkloadStatus", "StepResult", "DCatController"]
+__all__ = ["WorkloadStatus", "StepResult", "ControlStepContext", "DCatController"]
 
 
 @dataclass(frozen=True)
@@ -64,8 +77,28 @@ class StepResult:
     moved_workloads: List[str] = field(default_factory=list)
 
 
+@dataclass
+class ControlStepContext:
+    """Shared state flowing through one control interval's stages."""
+
+    time_s: float
+    result: StepResult
+    samples: Dict[str, CounterSample] = field(default_factory=dict)
+    changed: Dict[str, bool] = field(default_factory=dict)
+    decisions: Dict[str, Decision] = field(default_factory=dict)
+    reclaiming: Dict[str, bool] = field(default_factory=dict)
+    plan: Dict[str, int] = field(default_factory=dict)
+
+
 class DCatController:
     """The dCat daemon.
+
+    ``step()`` runs a :class:`~repro.engine.pipeline.StagedLoop` of the
+    paper's five steps plus a commit (``collect -> detect_phase ->
+    get_baseline -> categorize -> allocate -> commit``) over a shared
+    :class:`ControlStepContext`.  Each stage publishes what it observed and
+    decided on the event bus; the loop is exposed as ``self.loop`` for
+    instrumentation and fault injection.
 
     Args:
         pqos: Allocation backend (pqos-style API over CAT).
@@ -76,6 +109,7 @@ class DCatController:
         flush_callback: Optional hook invoked with the way mask of every
             span that changed owners, modeling the paper's user-level
             way-flush helper.
+        bus: Event bus for control-plane events (defaults to the null bus).
     """
 
     def __init__(
@@ -85,20 +119,36 @@ class DCatController:
         config: Optional[DCatConfig] = None,
         nominal_cycles_per_core: int = 2_000_000,
         flush_callback: Optional[Callable[[int], None]] = None,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.pqos = pqos
         self.perfmon = perfmon
         self.config = config if config is not None else DCatConfig()
         self.nominal_cycles_per_core = nominal_cycles_per_core
         self.flush_callback = flush_callback
+        self.bus = bus if bus is not None else NULL_BUS
         cap = pqos.cap_get()
         self.total_ways = cap.num_ways
         self._max_cos = cap.num_cos
         self._records: Dict[str, WorkloadRecord] = {}
         self._masks: Dict[str, int] = {}
+        # COS0 stays the unmanaged default; 1..num_cos-1 are allocatable.
+        # A min-heap so re-registration reuses the lowest released id first.
+        self._free_cos: List[int] = list(range(1, self._max_cos))
         self._pool_empty = False
         self._time_s = 0.0
         self.history: List[StepResult] = []
+        self.loop = StagedLoop(
+            [
+                FunctionStage("collect", self._stage_collect),
+                FunctionStage("detect_phase", self._stage_detect_phase),
+                FunctionStage("get_baseline", self._stage_get_baseline),
+                FunctionStage("categorize", self._stage_categorize),
+                FunctionStage("allocate", self._stage_allocate),
+                FunctionStage("commit", self._stage_commit),
+            ],
+            name="controller",
+        )
 
     # -- registration ----------------------------------------------------------
 
@@ -107,16 +157,19 @@ class DCatController:
     ) -> WorkloadRecord:
         """Start managing a workload (a VM / container / tenant).
 
-        Assigns the next free class of service and associates the cores.
+        Assigns the lowest free class of service and associates the cores.
+        Ids released by :meth:`deregister_workload` are reused, so a
+        register/deregister churn can never collide two live workloads on
+        one COS.
         """
         if workload_id in self._records:
             raise ValueError(f"workload {workload_id!r} already registered")
-        cos_id = len(self._records) + 1  # COS0 stays the unmanaged default
-        if cos_id >= self._max_cos:
+        if not self._free_cos:
             raise ValueError(
                 f"CAT supports {self._max_cos} classes; cannot isolate more "
                 f"than {self._max_cos - 1} workloads"
             )
+        cos_id = heapq.heappop(self._free_cos)
         record = WorkloadRecord(
             workload_id=workload_id,
             cores=tuple(cores),
@@ -128,6 +181,25 @@ class DCatController:
         for core in cores:
             self.pqos.alloc_assoc_set(core, cos_id)
         return record
+
+    def deregister_workload(self, workload_id: str) -> None:
+        """Stop managing a workload and release its COS and mask.
+
+        The cores fall back to the unmanaged default (COS0), the class of
+        service returns to the free pool for reuse, its mask is reset to the
+        full-LLC default, and the span it occupied is released to the free
+        pool at the next packing round.
+        """
+        record = self._records.pop(workload_id, None)
+        if record is None:
+            raise ValueError(f"workload {workload_id!r} is not registered")
+        for core in record.cores:
+            self.pqos.alloc_assoc_set(core, 0)
+        self.pqos.l3ca_set(
+            [PqosL3Ca(cos_id=record.cos_id, ways_mask=(1 << self.total_ways) - 1)]
+        )
+        heapq.heappush(self._free_cos, record.cos_id)
+        self._masks.pop(workload_id, None)
 
     @property
     def records(self) -> Dict[str, WorkloadRecord]:
@@ -158,71 +230,131 @@ class DCatController:
 
     def step(self) -> StepResult:
         """Run one control interval; returns what was observed and decided."""
-        config = self.config
-        result = StepResult(time_s=self._time_s)
-        decisions: Dict[str, Decision] = {}
-        reclaiming: Dict[str, bool] = {}
-        samples: Dict[str, CounterSample] = {}
-        changed_flags: Dict[str, bool] = {}
+        bus = self.bus
+        ctx = ControlStepContext(
+            time_s=self._time_s, result=StepResult(time_s=self._time_s)
+        )
+        if bus.active:
+            bus.emit(IntervalStarted.fast(time_s=ctx.time_s, source="controller"))
+        self.loop.run(ctx)
+        if bus.active:
+            bus.emit(IntervalFinished.fast(time_s=ctx.time_s, source="controller"))
+        return ctx.result
 
+    # -- stages (paper Fig. 4, one per step, plus commit) ----------------------
+
+    def _stage_collect(self, ctx: ControlStepContext) -> None:
+        """Step 1 — sample every workload's cores and flag idleness."""
+        bus = self.bus
         for wid, rec in self._records.items():
             sample = self.perfmon.sample_cores(rec.cores)
-            samples[wid] = sample
-
+            ctx.samples[wid] = sample
             # Idle detection: the cores barely ran this interval.
             busy_budget = self.nominal_cycles_per_core * len(rec.cores)
-            rec.idle = sample.cycles < config.idle_cycles_fraction * busy_budget
+            rec.idle = sample.cycles < self.config.idle_cycles_fraction * busy_budget
+            if bus.active:
+                bus.emit(
+                    SampleCollected.fast(
+                        time_s=ctx.time_s,
+                        source="controller",
+                        workload_id=wid,
+                        ipc=sample.ipc,
+                        llc_miss_rate=sample.llc_miss_rate,
+                        mem_refs_per_instr=sample.mem_refs_per_instr,
+                        instructions=sample.ret_ins,
+                        cycles=sample.cycles,
+                        idle=rec.idle,
+                    )
+                )
 
+    def _stage_detect_phase(self, ctx: ControlStepContext) -> None:
+        """Step 2 — feed the phase detectors with the mem/instr signature."""
+        bus = self.bus
+        for wid, rec in self._records.items():
+            sample = ctx.samples[wid]
             changed = rec.detector.observe(sample.mem_refs_per_instr, idle=rec.idle)
-            changed_flags[wid] = changed
+            ctx.changed[wid] = changed
             # Keep the signature synced every interval: the first-ever
             # observation establishes a phase without flagging a change.
             rec.signature = rec.detector.current_signature
+            if changed and bus.active:
+                bus.emit(
+                    PhaseChanged.fast(
+                        time_s=ctx.time_s,
+                        workload_id=wid,
+                        mem_refs_per_instr=sample.mem_refs_per_instr,
+                        idle=rec.signature.idle,
+                    )
+                )
 
-            if changed:
+    def _stage_get_baseline(self, ctx: ControlStepContext) -> None:
+        """Step 3 — on a phase change, jump to a known allocation or Reclaim;
+        otherwise feed the phase's performance table."""
+        for wid, rec in self._records.items():
+            if ctx.changed[wid]:
                 rec.reset_phase_state()
-                decisions[wid], reclaiming[wid] = self._phase_change_decision(rec)
+                ctx.decisions[wid], ctx.reclaiming[wid] = (
+                    self._phase_change_decision(rec)
+                )
             else:
+                sample = ctx.samples[wid]
                 self._record_performance(rec, sample)
                 self._update_unknown_bookkeeping(rec, sample)
-                decision = categorize(rec, sample, config, self._pool_empty)
-                if (
-                    decision.state is WorkloadState.UNKNOWN
-                    and rec.shrunk_last_round
-                    and rec.state is WorkloadState.DONOR
-                ):
-                    # The shrink we just made provoked misses; remember the
-                    # floor so this phase is not probed again.
-                    rec.donor_floor_ways = rec.prev_ways
-                decisions[wid] = decision
-                reclaiming[wid] = False
 
-        # -- allocate ---------------------------------------------------------
+    def _stage_categorize(self, ctx: ControlStepContext) -> None:
+        """Step 4 — run the Fig. 6 state machine for phase-stable workloads."""
+        for wid, rec in self._records.items():
+            if ctx.changed[wid]:
+                continue  # decided in get_baseline
+            sample = ctx.samples[wid]
+            decision = categorize(rec, sample, self.config, self._pool_empty)
+            if (
+                decision.state is WorkloadState.UNKNOWN
+                and rec.shrunk_last_round
+                and rec.state is WorkloadState.DONOR
+            ):
+                # The shrink we just made provoked misses; remember the
+                # floor so this phase is not probed again.
+                rec.donor_floor_ways = rec.prev_ways
+            ctx.decisions[wid] = decision
+            ctx.reclaiming[wid] = False
+
+    def _stage_allocate(self, ctx: ControlStepContext) -> None:
+        """Step 5 — arbitrate the pool, pack masks, program the hardware."""
+        bus = self.bus
         inputs = [
             AllocationInput(
                 workload_id=wid,
-                state=decisions[wid].state,
-                target_ways=decisions[wid].target_ways,
-                grow_request=decisions[wid].grow_request,
+                state=ctx.decisions[wid].state,
+                target_ways=ctx.decisions[wid].target_ways,
+                grow_request=ctx.decisions[wid].grow_request,
                 baseline_ways=self._records[wid].baseline_ways,
-                reclaiming=reclaiming[wid],
+                reclaiming=ctx.reclaiming[wid],
                 phase_table=self._records[wid].table.known_phase(
                     self._records[wid].signature
                 ),
             )
             for wid in self._records
         ]
-        plan = plan_allocation(inputs, self.total_ways, config)
-        moved = self._apply_plan(plan)
-        result.moved_workloads = moved
-        free = self.total_ways - sum(plan.values())
+        ctx.plan = plan_allocation(inputs, self.total_ways, self.config)
+        free = self.total_ways - sum(ctx.plan.values())
+        if bus.active:
+            bus.emit(
+                AllocationPlanned.fast(
+                    time_s=ctx.time_s, plan=dict(ctx.plan), free_ways=free
+                )
+            )
+        moved = self._apply_plan(ctx.plan, time_s=ctx.time_s)
+        ctx.result.moved_workloads = moved
         self._pool_empty = free <= 0
-        result.free_ways = free
+        ctx.result.free_ways = free
 
-        # -- commit records and statuses ------------------------------------------
+    def _stage_commit(self, ctx: ControlStepContext) -> None:
+        """Write back records, publish statuses, advance controller time."""
+        bus = self.bus
         for wid, rec in self._records.items():
-            sample = samples[wid]
-            decision = decisions[wid]
+            sample = ctx.samples[wid]
+            decision = ctx.decisions[wid]
             if (
                 decision.state is WorkloadState.KEEPER
                 and rec.state in (WorkloadState.UNKNOWN, WorkloadState.RECEIVER)
@@ -233,29 +365,37 @@ class DCatController:
                 # A fresh growth episode invalidates the old stop point.
                 rec.growth_ceiling_ways = 0
                 rec.growth_ceiling_miss_rate = 0.0
+            if bus.active and decision.state is not rec.state:
+                bus.emit(
+                    StateTransition.fast(
+                        time_s=ctx.time_s,
+                        workload_id=wid,
+                        old_state=rec.state.value,
+                        new_state=decision.state.value,
+                    )
+                )
             rec.prev_ways = rec.ways
-            rec.ways = plan[wid]
+            rec.ways = ctx.plan[wid]
             rec.state = decision.state
             rec.last_sample = sample
             rec.last_ipc = sample.ipc
             table = rec.table.known_phase(rec.signature)
             baseline_ipc = table.baseline_ipc if table else None
-            result.statuses[wid] = WorkloadStatus(
+            ctx.result.statuses[wid] = WorkloadStatus(
                 workload_id=wid,
                 state=decision.state,
-                ways=plan[wid],
+                ways=ctx.plan[wid],
                 ipc=sample.ipc,
                 normalized_ipc=(
                     sample.ipc / baseline_ipc if baseline_ipc else None
                 ),
                 llc_miss_rate=sample.llc_miss_rate,
-                phase_changed=changed_flags[wid],
+                phase_changed=ctx.changed[wid],
                 sample=sample,
             )
 
-        self._time_s += config.interval_s
-        self.history.append(result)
-        return result
+        self._time_s += self.config.interval_s
+        self.history.append(ctx.result)
 
     # -- helpers ------------------------------------------------------------------
 
@@ -301,7 +441,9 @@ class DCatController:
         else:
             rec.unknown_grants = 0
 
-    def _apply_plan(self, plan: Dict[str, int]) -> List[str]:
+    def _apply_plan(
+        self, plan: Dict[str, int], time_s: Optional[float] = None
+    ) -> List[str]:
         """Pack the plan into contiguous masks and program the hardware."""
         layout = pack_contiguous(plan, self.total_ways, previous=self._masks)
         entries = []
@@ -313,6 +455,14 @@ class DCatController:
             for wid in layout.moved:
                 self.flush_callback(layout.masks[wid])
         self._masks = dict(layout.masks)
+        if self.bus.active:
+            self.bus.emit(
+                MasksProgrammed.fast(
+                    time_s=self._time_s if time_s is None else time_s,
+                    masks=dict(layout.masks),
+                    moved=tuple(layout.moved),
+                )
+            )
         return list(layout.moved)
 
     # -- introspection ------------------------------------------------------------

@@ -21,7 +21,6 @@ latency-bound; a hardware-prefetched stream (MLOAD) overlaps many misses.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 

@@ -1,0 +1,128 @@
+"""Staged interval loops.
+
+A :class:`StagedLoop` decomposes a monolithic per-interval ``step()`` into
+an ordered list of named stages sharing one mutable context object.  The
+stage list is data, not code, so callers can inspect it, wrap a stage with
+instrumentation, inject a fault between two stages, or swap an
+implementation (e.g. a vectorized core model) without touching the loop
+that owns it.
+
+Stages are duck-typed against the :class:`Stage` protocol — anything with a
+``name`` and a ``run(ctx)``.  Plain callables are adapted with
+:class:`FunctionStage`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, List, Protocol, Sequence, runtime_checkable
+
+__all__ = ["Stage", "FunctionStage", "StagedLoop"]
+
+
+@runtime_checkable
+class Stage(Protocol):
+    """One named step of an interval loop."""
+
+    name: str
+
+    def run(self, ctx: Any) -> None:
+        """Advance the interval: read and mutate the shared context."""
+        ...
+
+
+class FunctionStage:
+    """Adapts a ``ctx -> None`` callable to the :class:`Stage` protocol."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[Any], None]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def run(self, ctx: Any) -> None:
+        self.fn(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FunctionStage({self.name!r})"
+
+
+class StagedLoop:
+    """An ordered, editable composition of uniquely named stages.
+
+    Args:
+        stages: Initial stage order.
+        name: Label for error messages (e.g. ``"sim"``, ``"controller"``).
+    """
+
+    def __init__(self, stages: Sequence[Stage], name: str = "loop") -> None:
+        self.name = name
+        self._stages: List[Stage] = []
+        for s in stages:
+            self.append(s)
+
+    # -- composition ----------------------------------------------------------
+
+    @property
+    def stage_names(self) -> List[str]:
+        return [s.name for s in self._stages]
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages)
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def _index(self, name: str) -> int:
+        for i, s in enumerate(self._stages):
+            if s.name == name:
+                return i
+        raise KeyError(f"{self.name}: no stage named {name!r} "
+                       f"(stages: {', '.join(self.stage_names)})")
+
+    def get(self, name: str) -> Stage:
+        return self._stages[self._index(name)]
+
+    def append(self, stage: Stage) -> None:
+        if stage.name in self.stage_names:
+            raise ValueError(f"{self.name}: duplicate stage name {stage.name!r}")
+        self._stages.append(stage)
+
+    def insert_before(self, name: str, stage: Stage) -> None:
+        """Insert a new stage just before an existing one."""
+        idx = self._index(name)
+        if stage.name in self.stage_names:
+            raise ValueError(f"{self.name}: duplicate stage name {stage.name!r}")
+        self._stages.insert(idx, stage)
+
+    def insert_after(self, name: str, stage: Stage) -> None:
+        """Insert a new stage just after an existing one."""
+        idx = self._index(name)
+        if stage.name in self.stage_names:
+            raise ValueError(f"{self.name}: duplicate stage name {stage.name!r}")
+        self._stages.insert(idx + 1, stage)
+
+    def replace(self, name: str, stage: Stage) -> Stage:
+        """Swap a stage in place (instrumented wrappers, alternate models).
+
+        Returns the stage that was replaced.
+        """
+        idx = self._index(name)
+        if stage.name != name and stage.name in self.stage_names:
+            raise ValueError(f"{self.name}: duplicate stage name {stage.name!r}")
+        old = self._stages[idx]
+        self._stages[idx] = stage
+        return old
+
+    def remove(self, name: str) -> Stage:
+        """Drop a stage from the loop (returns it)."""
+        return self._stages.pop(self._index(name))
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, ctx: Any) -> None:
+        """Run every stage, in order, over one shared context."""
+        for stage in self._stages:
+            stage.run(ctx)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"StagedLoop({self.name!r}: {' -> '.join(self.stage_names)})"

@@ -1,0 +1,109 @@
+"""Parallel experiment runner.
+
+``dcat-experiment run all`` registers ~25 independent experiments; each
+builds its own :class:`~repro.platform.machine.Machine` from an explicit
+seed, so they parallelize perfectly across a process pool.  The one rule is
+determinism: a parallel run must produce *identical* results to the serial
+run, interval for interval.  Both paths therefore derive each experiment's
+seed the same way — a stable CRC32 mix of the base seed and the experiment
+id — and results come back in request order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+if TYPE_CHECKING:  # imported lazily at runtime: harness pulls in the world
+    from repro.harness.results import ExperimentResult
+
+__all__ = ["derive_seed", "run_experiments"]
+
+
+def derive_seed(seed: int, experiment_id: str) -> int:
+    """A per-experiment seed, stable across processes and Python versions.
+
+    ``hash()`` is salted per interpreter, so the mix uses CRC32 of the id.
+    """
+    return (seed ^ zlib.crc32(experiment_id.encode("utf-8"))) & 0x7FFFFFFF
+
+
+def _run_one(experiment_id: str, seed: int) -> "ExperimentResult":
+    """Worker entry point: run one experiment under its derived seed."""
+    from repro.harness.registry import run_experiment
+
+    return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
+
+
+def run_experiments(
+    ids: Sequence[str],
+    jobs: int = 1,
+    seed: int = 1234,
+    trace_path: Optional[str] = None,
+) -> "List[ExperimentResult]":
+    """Run experiments serially (``jobs <= 1``) or across a process pool.
+
+    Args:
+        ids: Experiment ids, validated against the registry up front.
+        jobs: Worker processes; capped at ``len(ids)``.
+        seed: Base seed; each experiment runs under ``derive_seed(seed, id)``.
+        trace_path: When given (serial only), a JSONL event trace of every
+            experiment is written there, with marker lines at experiment
+            boundaries, and bus metrics are appended to each result's notes.
+
+    Returns:
+        Results in the order of ``ids``, identical for any ``jobs`` value.
+
+    Raises:
+        KeyError: For unknown experiment ids.
+        ValueError: If ``jobs`` is not positive, or if ``trace_path`` is
+            combined with ``jobs > 1`` (the subscribers would live in the
+            wrong process).
+    """
+    from repro.harness.registry import EXPERIMENTS
+
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment(s) {', '.join(map(repr, unknown))}; known ids: {known}"
+        )
+    if trace_path is not None and jobs > 1:
+        raise ValueError("--trace requires a serial run (jobs=1)")
+
+    if jobs <= 1 or len(ids) <= 1:
+        if trace_path is not None:
+            return _run_traced(ids, seed, trace_path)
+        return [_run_one(experiment_id, seed) for experiment_id in ids]
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = [pool.submit(_run_one, experiment_id, seed) for experiment_id in ids]
+        return [f.result() for f in futures]
+
+
+def _run_traced(
+    ids: Sequence[str], seed: int, trace_path: str
+) -> "List[ExperimentResult]":
+    """Serial run with a JSONL trace and per-experiment bus metrics."""
+    from repro.engine.events import EventBus, JsonlTraceWriter, MetricsSink, use_bus
+    from repro.harness.report import render_metrics
+
+    results: "List[ExperimentResult]" = []
+    with JsonlTraceWriter(trace_path) as writer:
+        for experiment_id in ids:
+            bus = EventBus()
+            bus.subscribe(writer)
+            metrics = MetricsSink()
+            bus.subscribe(metrics)
+            writer.mark(experiment_id=experiment_id, seed=derive_seed(seed, experiment_id))
+            with use_bus(bus):
+                result = _run_one(experiment_id, seed)
+            if metrics.counters:
+                for line in render_metrics(metrics).splitlines():
+                    result.note(line)
+            results.append(result)
+    return results

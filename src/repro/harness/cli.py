@@ -4,7 +4,8 @@ Usage::
 
     dcat-experiment list
     dcat-experiment run fig17 [--seed 1234]
-    dcat-experiment run all
+    dcat-experiment run all --jobs 4
+    dcat-experiment run fig10 --trace fig10.jsonl
     dcat-experiment scenario my_tenants.json [--vm redis]
 """
 
@@ -14,7 +15,8 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.harness.registry import EXPERIMENTS, run_experiment
+from repro.engine.runner import run_experiments
+from repro.harness.registry import EXPERIMENTS
 from repro.harness.report import render_experiment
 
 __all__ = ["main"]
@@ -30,6 +32,18 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one experiment (or 'all')")
     run.add_argument("experiment_id", help="e.g. fig10, tab4, or 'all'")
     run.add_argument("--seed", type=int, default=1234, help="simulation seed")
+    run.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; results are identical for any value",
+    )
+    run.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event-bus trace (forces a serial run)",
+    )
     scenario = sub.add_parser(
         "scenario", help="run a JSON scenario file (see repro.harness.scenario_file)"
     )
@@ -52,12 +66,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(experiment_id)
         return 0
     ids = list(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
-    for experiment_id in ids:
-        try:
-            result = run_experiment(experiment_id, seed=args.seed)
-        except KeyError as exc:
-            print(exc.args[0], file=sys.stderr)
-            return 2
+    jobs = args.jobs
+    if args.trace is not None and jobs > 1:
+        print("--trace requires a serial run; ignoring --jobs", file=sys.stderr)
+        jobs = 1
+    try:
+        results = run_experiments(
+            ids, jobs=jobs, seed=args.seed, trace_path=args.trace
+        )
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 2
+    for result in results:
         print(render_experiment(result))
         print()
     return 0

@@ -12,11 +12,11 @@ asserts without measurement:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.config import AllocationPolicy, DCatConfig
 from repro.core.states import WorkloadState
-from repro.harness.results import ExperimentResult, Series, TableResult
+from repro.harness.results import ExperimentResult, TableResult
 from repro.harness.scenarios import build_stage, run_scenario
 from repro.mem.address import MB
 from repro.platform.managers import DCatManager

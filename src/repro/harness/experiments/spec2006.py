@@ -11,7 +11,6 @@ compute-bound benchmarks unaffected.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Optional
 
 from repro.harness.results import ExperimentResult, TableResult, geomean

@@ -19,7 +19,7 @@ from repro.mem.address import MB
 from repro.platform.managers import DCatManager, SharedCacheManager, StaticCatManager
 from repro.platform.sim import SimulationResult
 from repro.workloads.base import PhasedWorkload, idle_phase
-from repro.workloads.mload import MloadWorkload, mload_phase
+from repro.workloads.mload import MloadWorkload
 from repro.workloads.mlr import MlrWorkload, mlr_phase
 
 __all__ = [

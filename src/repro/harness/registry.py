@@ -32,7 +32,7 @@ from repro.harness.experiments.timelines import (
 )
 from repro.harness.results import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
 
 Runner = Callable[..., ExperimentResult]
 
@@ -63,6 +63,11 @@ EXPERIMENTS: Dict[str, Runner] = {
     "ablation_interval": run_ablation_interval,
     "ablation_phase_threshold": run_ablation_phase_threshold,
 }
+
+
+def experiment_ids() -> list:
+    """All registered experiment ids, in registration (paper) order."""
+    return list(EXPERIMENTS)
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Union
 
+from repro.engine.events import MetricsSink
 from repro.harness.results import BarGroup, ExperimentResult, Series, TableResult
 
 __all__ = [
@@ -18,6 +19,7 @@ __all__ = [
     "render_bars",
     "render_series",
     "render_sparkline",
+    "render_metrics",
     "render_experiment",
 ]
 
@@ -97,6 +99,29 @@ def render_series(series: Series, max_points: int = 40) -> str:
     if n >= 8:
         return render_sparkline(series) + "\n" + listing
     return listing
+
+
+def render_metrics(metrics: MetricsSink) -> str:
+    """Event-bus counters and histograms as aligned text.
+
+    The CLI appends this to an experiment's notes when ``--trace`` is on,
+    so a run's observability cost and event mix are visible in the report.
+    """
+    lines: List[str] = ["event counts:"]
+    if not metrics.counters:
+        return "event counts: (none)"
+    width = max(len(name) for name in metrics.counters)
+    for name, count in sorted(metrics.counters.items()):
+        lines.append(f"  {name.ljust(width)}  {count}")
+    if metrics.histograms:
+        lines.append("field summaries (count / mean / min / max):")
+        hwidth = max(len(key) for key in metrics.histograms)
+        for key, hist in sorted(metrics.histograms.items()):
+            lines.append(
+                f"  {key.ljust(hwidth)}  {hist.count}  {hist.mean:.4g}  "
+                f"{hist.minimum:.4g}  {hist.maximum:.4g}"
+            )
+    return "\n".join(lines)
 
 
 def render_experiment(result: ExperimentResult) -> str:

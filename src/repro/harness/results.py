@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Sequence, Union
 
 __all__ = ["Series", "BarGroup", "TableResult", "ExperimentResult", "geomean"]
 

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.cache.analytical import AccessPattern
 from repro.cache.setassoc import SetAssociativeCache
+from repro.engine.events import EventBus
 from repro.mem.paging import PageTable
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
@@ -59,8 +60,9 @@ class ExactCloudSimulation(CloudSimulation):
         accesses_per_interval: int = 40_000,
         interleave_chunks: int = 16,
         seed: int = 2024,
+        bus: Optional["EventBus"] = None,
     ) -> None:
-        super().__init__(machine, vms, manager)
+        super().__init__(machine, vms, manager, bus=bus)
         if accesses_per_interval < 1:
             raise ValueError("accesses_per_interval must be positive")
         self.accesses_per_interval = accesses_per_interval

@@ -13,13 +13,14 @@ is computed by the simulation from the CAT state the manager programs.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.cat.layout import pack_contiguous
 from repro.cat.pqos import PqosL3Ca
 from repro.core.config import DCatConfig
 from repro.core.controller import DCatController, StepResult
 from repro.core.states import WorkloadState
+from repro.engine.events import NULL_BUS, EventBus
 from repro.platform.machine import Machine
 from repro.platform.vm import VirtualMachine
 
@@ -33,6 +34,13 @@ class CacheManager(abc.ABC):
     #: "partitioned" -> each VM's hit rate follows its CAT mask.
     mode: str = "partitioned"
     name: str = "manager"
+    #: Event bus for control-plane events; the simulation injects its own
+    #: bus via attach_bus() before calling setup().
+    bus: EventBus = NULL_BUS
+
+    def attach_bus(self, bus: EventBus) -> None:
+        """Adopt the simulation's event bus (called before ``setup()``)."""
+        self.bus = bus
 
     @abc.abstractmethod
     def setup(self, machine: Machine, vms: Sequence[VirtualMachine]) -> None:
@@ -106,6 +114,7 @@ class DCatManager(CacheManager):
             perfmon=perfmon,
             config=self.config,
             nominal_cycles_per_core=machine.cycles_per_interval,
+            bus=self.bus,
         )
         for vm in vms:
             self.controller.register_workload(

@@ -25,6 +25,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.cache.analytical import AccessPattern
 from repro.cache.contention import CacheDemand
 from repro.core.states import WorkloadState
+from repro.engine.events import (
+    EventBus,
+    IntervalFinished,
+    IntervalStarted,
+    SampleCollected,
+    get_default_bus,
+)
+from repro.engine.pipeline import FunctionStage, StagedLoop
 from repro.hwcounters.events import L1_CACHE_HITS, L1_CACHE_MISSES, LLC_MISSES, LLC_REFERENCES
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
@@ -33,7 +41,13 @@ from repro.workloads.apps import AppWorkload
 from repro.workloads.base import Phase, PhasedWorkload
 from repro.workloads.clients import AppMetrics
 
-__all__ = ["VmIntervalRecord", "SimulationResult", "CloudSimulation"]
+__all__ = [
+    "VmIntervalRecord",
+    "SimulationResult",
+    "SimStepContext",
+    "VmIntervalAccumulator",
+    "CloudSimulation",
+]
 
 
 @dataclass(frozen=True)
@@ -125,13 +139,57 @@ class SimulationResult:
         return sum(getattr(r, attr) for r in tail) / len(tail)
 
 
+@dataclass
+class VmIntervalAccumulator:
+    """Per-VM scratch state carried between stages within one interval."""
+
+    phase: Optional[Phase] = None
+    busy: Tuple[int, ...] = ()
+    activities: List[Tuple[int, object]] = field(default_factory=list)
+    instructions: int = 0
+    cycles: int = 0
+    l1_refs: int = 0
+    llc_refs: int = 0
+    llc_misses: int = 0
+    latency_acc: float = 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def avg_latency(self) -> float:
+        return self.latency_acc / len(self.busy) if self.busy else 0.0
+
+
+@dataclass
+class SimStepContext:
+    """Everything one simulation interval's stages read and write."""
+
+    time_s: float
+    phases: Dict[str, Optional[Phase]] = field(default_factory=dict)
+    hit_rates: Dict[str, float] = field(default_factory=dict)
+    effective_ways: Dict[str, float] = field(default_factory=dict)
+    per_vm: Dict[str, VmIntervalAccumulator] = field(default_factory=dict)
+    total_misses: int = 0
+
+
 class CloudSimulation:
     """Interval-stepped simulation of VMs sharing one socket.
+
+    ``step()`` runs a :class:`~repro.engine.pipeline.StagedLoop` of seven
+    named stages (``resolve_hit_rates -> execute_cores -> feed_pmus ->
+    record -> advance -> control -> update_dram``) over a shared
+    :class:`SimStepContext`; each stage publishes to the event bus.  The
+    loop is exposed as ``self.loop`` so instrumentation and alternate
+    models can be spliced in without subclassing.
 
     Args:
         machine: The host.
         vms: Pinned VMs (see :func:`repro.platform.vm.pin_vms`).
         manager: The cache-management regime under test.
+        bus: Event bus for interval events (defaults to the process default
+            bus, which is the null bus unless e.g. ``--trace`` installed one).
     """
 
     def __init__(
@@ -139,6 +197,7 @@ class CloudSimulation:
         machine: Machine,
         vms: Sequence[VirtualMachine],
         manager: CacheManager,
+        bus: Optional[EventBus] = None,
     ) -> None:
         names = [vm.name for vm in vms]
         if len(set(names)) != len(names):
@@ -149,6 +208,8 @@ class CloudSimulation:
         self.machine = machine
         self.vms = list(vms)
         self.manager = manager
+        self.bus = bus if bus is not None else get_default_bus()
+        self.manager.attach_bus(self.bus)
         self.manager.setup(machine, vms)
         self.result = SimulationResult(interval_s=machine.interval_s)
         for vm in vms:
@@ -166,6 +227,20 @@ class CloudSimulation:
         # Previous-interval hit-rate estimate per VM, used to seed the
         # contention solver's reference-rate estimates.
         self._last_hit: Dict[str, float] = {vm.name: 0.5 for vm in vms}
+        # Virtual time requested by run() but not yet a whole interval.
+        self._residual_s = 0.0
+        self.loop = StagedLoop(
+            [
+                FunctionStage("resolve_hit_rates", self._stage_resolve_hit_rates),
+                FunctionStage("execute_cores", self._stage_execute_cores),
+                FunctionStage("feed_pmus", self._stage_feed_pmus),
+                FunctionStage("record", self._stage_record),
+                FunctionStage("advance", self._stage_advance),
+                FunctionStage("control", self._stage_control),
+                FunctionStage("update_dram", self._stage_update_dram),
+            ],
+            name="sim",
+        )
 
     # -- main loop ---------------------------------------------------------------
 
@@ -173,9 +248,37 @@ class CloudSimulation:
     def now(self) -> float:
         return self._time_s
 
-    def run(self, duration_s: float) -> SimulationResult:
-        """Advance the simulation by ``duration_s`` of virtual time."""
-        steps = int(round(duration_s / self.machine.interval_s))
+    def run(self, duration_s: float, strict: bool = False) -> SimulationResult:
+        """Advance the simulation by ``duration_s`` of virtual time.
+
+        The simulation only moves in whole intervals.  By default, time that
+        does not fill an interval is *accumulated*: ``run(1.25)`` at a 0.5 s
+        interval runs 2 steps and banks 0.25 s, so a following ``run(0.25)``
+        runs the third step — no time is silently created or destroyed the
+        way the old ``round()`` did.  With ``strict=True``, a duration that
+        is not a whole number of intervals raises instead.
+
+        Args:
+            duration_s: Virtual time to advance by (>= 0).
+            strict: Refuse durations that are not interval multiples.
+
+        Raises:
+            ValueError: If ``duration_s`` is negative, or (``strict``) not a
+                whole number of intervals.
+        """
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        interval_s = self.machine.interval_s
+        if strict:
+            steps_exact = duration_s / interval_s
+            if abs(steps_exact - round(steps_exact)) > 1e-9:
+                raise ValueError(
+                    f"duration {duration_s} s is not a whole number of "
+                    f"{interval_s} s intervals"
+                )
+        self._residual_s += duration_s
+        steps = int(self._residual_s / interval_s + 1e-9)
+        self._residual_s = max(0.0, self._residual_s - steps * interval_s)
         for _ in range(steps):
             self.step()
         return self.result
@@ -196,77 +299,120 @@ class CloudSimulation:
         return self.result
 
     def step(self) -> None:
-        """One interval: hit rates -> cores -> counters -> control."""
-        machine = self.machine
-        phases: Dict[str, Optional[Phase]] = {
-            vm.name: vm.workload.current_phase() for vm in self.vms
-        }
-        hit_rates, effective_ways = self._resolve_hit_rates(phases)
+        """One interval: run the staged loop over a fresh context."""
+        bus = self.bus
+        ctx = SimStepContext(time_s=self._time_s)
+        if bus.active:
+            bus.emit(IntervalStarted.fast(time_s=ctx.time_s, source="sim"))
+        self.loop.run(ctx)
+        if bus.active:
+            bus.emit(IntervalFinished.fast(time_s=ctx.time_s, source="sim"))
 
-        total_misses = 0
-        total_capacity_cycles = (
-            machine.cycles_per_interval * machine.spec.num_threads
-        )
+    # -- stages ------------------------------------------------------------------
+
+    def _stage_resolve_hit_rates(self, ctx: SimStepContext) -> None:
+        """Snapshot phases and resolve each VM's hit rate / effective ways."""
+        ctx.phases = {vm.name: vm.workload.current_phase() for vm in self.vms}
+        ctx.hit_rates, ctx.effective_ways = self._resolve_hit_rates(ctx.phases)
+
+    def _stage_execute_cores(self, ctx: SimStepContext) -> None:
+        """Drive each busy vCPU's core model and aggregate per VM."""
+        machine = self.machine
         for vm in self.vms:
-            phase = phases[vm.name]
-            instructions = 0
-            cycles = 0
-            l1_refs = 0
-            llc_refs = 0
-            llc_misses = 0
-            latency_acc = 0.0
-            busy = vm.busy_vcpus if phase is not None else ()
-            for thread in busy:
+            acc = ctx.per_vm[vm.name] = VmIntervalAccumulator()
+            acc.phase = ctx.phases[vm.name]
+            acc.busy = tuple(vm.busy_vcpus) if acc.phase is not None else ()
+            for thread in acc.busy:
                 activity = machine.core_models[thread].execute_interval(
-                    phase.behavior,
-                    hit_rates[vm.name],
+                    acc.phase.behavior,
+                    ctx.hit_rates[vm.name],
                     dram_latency=self._dram_latency,
                 )
-                machine.pmus[thread].advance(
-                    activity.instructions, activity.cycles, activity.event_counts
-                )
-                instructions += activity.instructions
-                cycles += activity.cycles
-                latency_acc += activity.avg_mem_latency_cycles
-                l1_refs += (
+                acc.activities.append((thread, activity))
+                acc.instructions += activity.instructions
+                acc.cycles += activity.cycles
+                acc.latency_acc += activity.avg_mem_latency_cycles
+                acc.l1_refs += (
                     activity.event_counts[L1_CACHE_HITS]
                     + activity.event_counts[L1_CACHE_MISSES]
                 )
-                llc_refs += activity.event_counts[LLC_REFERENCES]
-                llc_misses += activity.event_counts[LLC_MISSES]
-                total_misses += activity.event_counts[LLC_MISSES]
+                acc.llc_refs += activity.event_counts[LLC_REFERENCES]
+                acc.llc_misses += activity.event_counts[LLC_MISSES]
+                ctx.total_misses += activity.event_counts[LLC_MISSES]
 
-            ipc = instructions / cycles if cycles else 0.0
-            avg_latency = latency_acc / len(busy) if busy else 0.0
-            app_metrics = self._app_metrics(vm, phase, ipc)
-            self._last_hit[vm.name] = hit_rates[vm.name]
-
-            self._report_monitoring(vm, phase, hit_rates, effective_ways, llc_misses)
-            self._record_completion(vm, phase, instructions)
-            vm.workload.advance(machine.interval_s, instructions)
-
-            self.result.records[vm.name].append(
-                VmIntervalRecord(
-                    time_s=self._time_s,
-                    vm_name=vm.name,
-                    phase_name=phase.name if phase else None,
-                    ways=effective_ways[vm.name],
-                    llc_hit_rate=hit_rates[vm.name],
-                    ipc=ipc,
-                    avg_mem_latency_cycles=avg_latency,
-                    instructions=instructions,
-                    cycles=cycles,
-                    l1_refs=l1_refs,
-                    llc_refs=llc_refs,
-                    llc_misses=llc_misses,
-                    state=self.manager.state_of(vm.name),
-                    app=app_metrics,
+    def _stage_feed_pmus(self, ctx: SimStepContext) -> None:
+        """Publish activity into the PMUs and the CMT/MBM occupancy model."""
+        machine = self.machine
+        for vm in self.vms:
+            acc = ctx.per_vm[vm.name]
+            for thread, activity in acc.activities:
+                machine.pmus[thread].advance(
+                    activity.instructions, activity.cycles, activity.event_counts
                 )
+            self._report_monitoring(
+                vm, acc.phase, ctx.hit_rates, ctx.effective_ways, acc.llc_misses
             )
 
+    def _stage_record(self, ctx: SimStepContext) -> None:
+        """Materialize each VM's interval record (and completion times)."""
+        bus = self.bus
+        for vm in self.vms:
+            acc = ctx.per_vm[vm.name]
+            phase = acc.phase
+            app_metrics = self._app_metrics(vm, phase, acc.ipc)
+            self._last_hit[vm.name] = ctx.hit_rates[vm.name]
+            self._record_completion(vm, phase, acc.instructions)
+            record = VmIntervalRecord(
+                time_s=self._time_s,
+                vm_name=vm.name,
+                phase_name=phase.name if phase else None,
+                ways=ctx.effective_ways[vm.name],
+                llc_hit_rate=ctx.hit_rates[vm.name],
+                ipc=acc.ipc,
+                avg_mem_latency_cycles=acc.avg_latency,
+                instructions=acc.instructions,
+                cycles=acc.cycles,
+                l1_refs=acc.l1_refs,
+                llc_refs=acc.llc_refs,
+                llc_misses=acc.llc_misses,
+                state=self.manager.state_of(vm.name),
+                app=app_metrics,
+            )
+            self.result.records[vm.name].append(record)
+            if bus.active:
+                bus.emit(
+                    SampleCollected.fast(
+                        time_s=ctx.time_s,
+                        source="sim",
+                        workload_id=vm.name,
+                        ipc=acc.ipc,
+                        llc_miss_rate=record.llc_miss_rate,
+                        mem_refs_per_instr=record.mem_refs_per_instr,
+                        instructions=acc.instructions,
+                        cycles=acc.cycles,
+                        idle=phase is None,
+                    )
+                )
+
+    def _stage_advance(self, ctx: SimStepContext) -> None:
+        """Advance every workload by one interval of time and retired work."""
+        for vm in self.vms:
+            vm.workload.advance(
+                self.machine.interval_s, ctx.per_vm[vm.name].instructions
+            )
+
+    def _stage_control(self, ctx: SimStepContext) -> None:
+        """Run the cache manager's control plane (for dCat: the 5-step loop)."""
         self.manager.control()
+
+    def _stage_update_dram(self, ctx: SimStepContext) -> None:
+        """Refresh the loaded DRAM latency and advance virtual time."""
+        machine = self.machine
+        total_capacity_cycles = (
+            machine.cycles_per_interval * machine.spec.num_threads
+        )
         self._dram_latency = machine.dram.loaded_latency(
-            total_misses / total_capacity_cycles * machine.spec.num_threads
+            ctx.total_misses / total_capacity_cycles * machine.spec.num_threads
         )
         self._time_s += machine.interval_s
 

@@ -10,7 +10,7 @@ share one.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.cpu.socket import SocketSpec

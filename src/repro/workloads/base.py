@@ -15,9 +15,8 @@ signature metric.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field, replace
-from typing import Iterable, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.cache.analytical import AccessPattern, Footprint
 from repro.cpu.coremodel import MemoryBehavior

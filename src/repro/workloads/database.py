@@ -28,7 +28,7 @@ from repro.cache.analytical import AccessPattern
 from repro.cpu.coremodel import MemoryBehavior
 from repro.mem.address import KB, MB
 from repro.workloads.apps import AppWorkload
-from repro.workloads.base import Phase, l1_miss_ratio_for
+from repro.workloads.base import Phase
 from repro.workloads.clients import ClosedLoopClient
 
 __all__ = ["LruBufferPool", "PostgresWorkload"]

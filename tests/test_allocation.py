@@ -1,6 +1,5 @@
 """Tests for repro.core.allocation: pool arbitration and the way-split DP."""
 
-import itertools
 
 import pytest
 from hypothesis import given, settings, strategies as st

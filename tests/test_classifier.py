@@ -1,6 +1,5 @@
 """Tests for repro.core.classifier: the Fig. 6 categorization rules."""
 
-import pytest
 
 from repro.core.classifier import Decision, categorize
 from repro.core.config import DCatConfig

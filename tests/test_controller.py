@@ -237,3 +237,66 @@ class TestPerformanceTableReuse:
         rig.feed(0, miss_rate=0.4, ipc=0.2)
         rig.controller.step()
         assert rig.controller.ways_of("w") == 3
+
+
+class TestDeregistration:
+    def test_deregister_releases_cores_and_mask(self):
+        rig = Rig()
+        rig.controller.register_workload("a", [0, 1], baseline_ways=3)
+        rig.controller.register_workload("b", [2, 3], baseline_ways=3)
+        rig.controller.initialize()
+        rig.controller.deregister_workload("a")
+        assert "a" not in rig.controller.records
+        # Cores fall back to the unmanaged default class.
+        assert rig.cat.core_cos(0) == 0
+        assert rig.cat.core_cos(1) == 0
+        # The released COS mask returns to the power-on full-cache default.
+        assert rig.cat.cos_mask(1) == (1 << 20) - 1
+        with pytest.raises(KeyError):
+            rig.controller.mask_of("a")
+
+    def test_unknown_workload_rejected(self):
+        rig = Rig()
+        with pytest.raises(ValueError, match="not registered"):
+            rig.controller.deregister_workload("ghost")
+
+    def test_cos_id_reused_not_collided(self):
+        """Churn must never hand two live workloads the same COS."""
+        rig = Rig()
+        a = rig.controller.register_workload("a", [0], baseline_ways=3)
+        b = rig.controller.register_workload("b", [1], baseline_ways=3)
+        rig.controller.deregister_workload("a")
+        # Under the old len()+1 scheme this would collide with b's COS 2.
+        c = rig.controller.register_workload("c", [2], baseline_ways=3)
+        d = rig.controller.register_workload("d", [3], baseline_ways=3)
+        assert c.cos_id == a.cos_id  # lowest freed id is recycled
+        live = [b.cos_id, c.cos_id, d.cos_id]
+        assert len(set(live)) == len(live)
+
+    def test_controller_runs_on_after_deregistration(self):
+        rig = Rig()
+        rig.controller.register_workload("a", [0, 1], baseline_ways=3)
+        rig.controller.register_workload("b", [2, 3], baseline_ways=3)
+        rig.controller.initialize()
+        for _ in range(2):
+            for core in range(4):
+                rig.feed(core)
+            rig.controller.step()
+        rig.controller.deregister_workload("a")
+        for _ in range(2):
+            rig.feed(2)
+            rig.feed(3)
+            result = rig.controller.step()
+        assert set(result.statuses) == {"b"}
+        assert mask_way_count(rig.controller.mask_of("b")) >= 3
+
+    def test_full_churn_cycle_reaches_cos_limit_again(self):
+        rig = Rig(num_cores=16, num_ways=20)
+        for i in range(15):
+            rig.controller.register_workload(f"w{i}", [i], baseline_ways=1)
+        for i in range(15):
+            rig.controller.deregister_workload(f"w{i}")
+        for i in range(15):
+            rig.controller.register_workload(f"r{i}", [i], baseline_ways=1)
+        with pytest.raises(ValueError, match="cannot isolate"):
+            rig.controller.register_workload("overflow", [15], baseline_ways=1)

@@ -11,7 +11,6 @@ adversarial — after every control step the controller must uphold:
   divergence).
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cat.cat import CacheAllocationTechnology

@@ -41,13 +41,17 @@ def run_mode(exact, manager_factory, target_factory, duration=18.0, seed=5):
 
 class TestDcatTrajectoriesAgree:
     def test_mlr_growth_identical(self):
-        target = lambda: MlrWorkload(2 * MB, start_delay_s=2.0, name="target")
+        def target():
+            return MlrWorkload(2 * MB, start_delay_s=2.0, name="target")
+
         exact = run_mode(True, DCatManager, target)
         fast = run_mode(False, DCatManager, target)
         assert exact.series("target", "ways") == fast.series("target", "ways")
 
     def test_hit_rates_close(self):
-        target = lambda: MlrWorkload(2 * MB, start_delay_s=2.0, name="target")
+        def target():
+            return MlrWorkload(2 * MB, start_delay_s=2.0, name="target")
+
         exact = run_mode(True, DCatManager, target)
         fast = run_mode(False, DCatManager, target)
         e = exact.steady_mean("target", "llc_hit_rate", 5)
@@ -57,7 +61,9 @@ class TestDcatTrajectoriesAgree:
 
 class TestStaticModeAgrees:
     def test_static_partition_hit_rate(self):
-        target = lambda: MlrWorkload(2 * MB, name="target")
+        def target():
+            return MlrWorkload(2 * MB, name="target")
+
         exact = run_mode(True, StaticCatManager, target, duration=10.0)
         fast = run_mode(False, StaticCatManager, target, duration=10.0)
         # 2 MB in a single 2.25 MB way: conflict misses keep both below 1.

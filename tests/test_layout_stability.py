@@ -1,0 +1,95 @@
+"""Mask stability of pack_contiguous under plan churn.
+
+Every way that changes owners costs a flush (the paper's user-level helper,
+``flush_callback`` in the controller), so the packer's promise matters: a
+workload whose size and left-hand neighborhood did not change must keep its
+exact span, and ``moved`` must list only workloads whose mask actually
+shifted.  These tests guard the flush path in ``DCatController._apply_plan``
+against a quietly churn-happy packer.
+"""
+
+import random
+
+from repro.cat.cos import is_contiguous, mask_way_count, mask_ways
+from repro.cat.layout import pack_contiguous
+
+NUM_WAYS = 20
+
+
+def masks_disjoint(masks):
+    used = 0
+    for m in masks.values():
+        if used & m:
+            return False
+        used |= m
+    return True
+
+
+class TestSteadyState:
+    def test_identical_plan_never_moves(self):
+        plan = {"a": 5, "b": 7, "c": 4}
+        layout = pack_contiguous(plan, NUM_WAYS)
+        for _ in range(10):
+            layout = pack_contiguous(plan, NUM_WAYS, previous=layout.masks)
+            assert layout.moved == []
+
+    def test_rightmost_growth_into_free_pool_leaves_neighbors_put(self):
+        plan = {"a": 5, "b": 7, "c": 4}
+        layout = pack_contiguous(plan, NUM_WAYS)
+        grown = dict(plan, c=8)  # c is rightmost; 4 free ways sit past it
+        layout2 = pack_contiguous(grown, NUM_WAYS, previous=layout.masks)
+        # Only the grown workload's mask changes, and it grows in place
+        # (same starting way), so nothing else needs a flush.
+        assert layout2.moved == ["c"]
+        assert layout2.masks["a"] == layout.masks["a"]
+        assert layout2.masks["b"] == layout.masks["b"]
+        assert mask_ways(layout2.masks["c"])[0] == mask_ways(layout.masks["c"])[0]
+
+    def test_oscillating_tail_leaves_head_stable(self):
+        """A donor/receiver pair churning at the tail never moves the head."""
+        layout = pack_contiguous({"head": 6, "x": 4, "y": 4}, NUM_WAYS)
+        head_mask = layout.masks["head"]
+        for i in range(20):
+            plan = {"head": 6, "x": 4 + (i % 2) * 3, "y": 4}
+            layout = pack_contiguous(plan, NUM_WAYS, previous=layout.masks)
+            assert layout.masks["head"] == head_mask
+            assert "head" not in layout.moved
+
+
+class TestChurn:
+    def test_moved_is_exactly_the_masks_that_changed(self):
+        rng = random.Random(20180423)
+        workloads = ["a", "b", "c", "d", "e"]
+        plan = {w: 3 for w in workloads}
+        previous = pack_contiguous(plan, NUM_WAYS).masks
+        for _ in range(200):
+            plan = dict(plan)
+            plan[rng.choice(workloads)] = rng.randint(1, 5)
+            if sum(plan.values()) > NUM_WAYS:
+                continue
+            layout = pack_contiguous(plan, NUM_WAYS, previous=previous)
+            # Invariants: contiguous, disjoint, sized to plan.
+            for wid, mask in layout.masks.items():
+                assert is_contiguous(mask)
+                assert mask_way_count(mask) == plan[wid]
+            assert masks_disjoint(layout.masks)
+            # moved = exactly the workloads whose span shifted.
+            shifted = [
+                wid
+                for wid, mask in layout.masks.items()
+                if previous.get(wid) is not None and previous[wid] != mask
+            ]
+            assert sorted(layout.moved) == sorted(shifted)
+            previous = layout.masks
+
+    def test_single_size_change_moves_at_most_downstream_spans(self):
+        """Only workloads at-or-right-of the resized one may move."""
+        plan = {"a": 4, "b": 4, "c": 4, "d": 4}
+        layout = pack_contiguous(plan, NUM_WAYS)
+        starts = {w: mask_ways(layout.masks[w])[0] for w in plan}
+        resized = dict(plan, b=6)
+        layout2 = pack_contiguous(resized, NUM_WAYS, previous=layout.masks)
+        for wid in layout2.moved:
+            assert starts[wid] >= starts["b"], (
+                f"{wid} (left of the resized span) moved"
+            )

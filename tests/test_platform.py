@@ -4,7 +4,6 @@ import pytest
 
 from repro.cat.cos import mask_way_count
 from repro.core.states import WorkloadState
-from repro.cpu.socket import SocketSpec
 from repro.mem.address import MB
 from repro.platform.machine import Machine
 from repro.platform.managers import DCatManager, SharedCacheManager, StaticCatManager
@@ -195,3 +194,53 @@ class TestSimulation:
         assert result.steady_mean("mlr-4mb", "ways", 3) == 3.0
         with pytest.raises(ValueError):
             result.mean("ghost", "ipc")
+
+
+class TestRunDuration:
+    """run() must neither create nor destroy virtual time (no round() drift)."""
+
+    def make_sim(self, interval_s=0.5):
+        machine = Machine(
+            seed=7, cycles_per_interval=500_000, interval_s=interval_s
+        )
+        vms = make_vms(machine, LookbusyWorkload(name="busy"))
+        return CloudSimulation(machine, vms, StaticCatManager())
+
+    def steps(self, sim):
+        return len(sim.result.timeline("busy"))
+
+    def test_whole_multiples_unchanged(self):
+        sim = self.make_sim(interval_s=0.5)
+        sim.run(4.0)
+        assert self.steps(sim) == 8
+
+    def test_partial_interval_accumulates_instead_of_rounding(self):
+        # The old int(round()) ran 1.25 s as 2 steps and dropped the
+        # remainder; a following 0.25 s then rounded to 0 forever.
+        sim = self.make_sim(interval_s=0.5)
+        sim.run(1.25)
+        assert self.steps(sim) == 2
+        sim.run(0.25)  # banked 0.25 + 0.25 = one whole interval
+        assert self.steps(sim) == 3
+
+    def test_many_fractional_runs_conserve_time(self):
+        sim = self.make_sim(interval_s=0.5)
+        for _ in range(10):
+            sim.run(0.3)  # 3.0 s total = 6 intervals
+        assert self.steps(sim) == 6
+
+    def test_strict_accepts_multiples(self):
+        sim = self.make_sim(interval_s=0.5)
+        sim.run(2.0, strict=True)
+        assert self.steps(sim) == 4
+
+    def test_strict_rejects_non_multiples(self):
+        sim = self.make_sim(interval_s=0.5)
+        with pytest.raises(ValueError, match="whole number"):
+            sim.run(1.25, strict=True)
+        assert self.steps(sim) == 0
+
+    def test_negative_duration_rejected(self):
+        sim = self.make_sim()
+        with pytest.raises(ValueError, match=">= 0"):
+            sim.run(-1.0)

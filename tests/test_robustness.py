@@ -1,6 +1,5 @@
 """Failure-injection and edge-condition tests across the full stack."""
 
-import pytest
 
 from repro.core.config import DCatConfig
 from repro.harness.scenarios import build_stage, run_scenario

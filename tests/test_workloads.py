@@ -4,10 +4,8 @@ import numpy as np
 import pytest
 
 from repro.cache.analytical import AccessPattern
-from repro.cpu.coremodel import MemoryBehavior
 from repro.mem.address import MB
 from repro.workloads.base import (
-    Phase,
     PhasedWorkload,
     idle_phase,
     l1_miss_ratio_for,
