@@ -1,0 +1,61 @@
+"""The tenant-churn cloud layer: fleets, admission, placement, SLOs.
+
+``repro.cloud`` turns the single-machine, fixed-VM simulation into the
+paper's actual setting — performance-sensitive IaaS, where tenants arrive,
+run, and depart while every machine's cache manager defends baselines:
+
+* :mod:`repro.cloud.lifecycle` — tenant specs and arrival streams
+  (seeded Poisson or scripted traces);
+* :mod:`repro.cloud.placement` — admission-time placement policies
+  (first-fit, least-loaded, sensitivity-aware);
+* :mod:`repro.cloud.fleet` — :class:`~repro.cloud.fleet.CloudFleet`, the
+  multi-machine driver with attach/detach churn and per-tenant SLO
+  accounting (:mod:`repro.cloud.slo`);
+* :mod:`repro.cloud.scenario` — declarative churn-scenario files.
+"""
+
+from repro.cloud.fleet import (
+    CloudFleet,
+    FleetMachine,
+    FleetResult,
+    PlacementRecord,
+    entitled_ipc,
+)
+from repro.cloud.lifecycle import MixEntry, TenantSpec, poisson_tenants, scripted_tenants
+from repro.cloud.placement import (
+    FirstFitPolicy,
+    LeastLoadedPolicy,
+    PlacementPolicy,
+    SensitivityAwarePolicy,
+    build_policy,
+    cache_sensitivity,
+)
+from repro.cloud.scenario import (
+    ChurnScenarioError,
+    load_churn_scenario,
+    run_churn_scenario,
+)
+from repro.cloud.slo import SloAccountant, TenantSloStats
+
+__all__ = [
+    "CloudFleet",
+    "FleetMachine",
+    "FleetResult",
+    "PlacementRecord",
+    "entitled_ipc",
+    "MixEntry",
+    "TenantSpec",
+    "poisson_tenants",
+    "scripted_tenants",
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "LeastLoadedPolicy",
+    "SensitivityAwarePolicy",
+    "build_policy",
+    "cache_sensitivity",
+    "ChurnScenarioError",
+    "load_churn_scenario",
+    "run_churn_scenario",
+    "SloAccountant",
+    "TenantSloStats",
+]

@@ -1,0 +1,399 @@
+"""A fleet of machines under tenant churn.
+
+The tentpole of the cloud layer: :class:`CloudFleet` drives N
+:class:`FleetMachine` hosts — each one a full
+:class:`~repro.platform.sim.CloudSimulation` with its own cache manager —
+through a tenant lifecycle stream.  One fleet interval is:
+
+1. **depart** — tenants whose lease expired or whose workload finished are
+   detached from their machine (COS, RMID and vCPUs return to the pools);
+2. **admit** — arrivals due this interval are placed by the configured
+   :class:`~repro.cloud.placement.PlacementPolicy`; admission control
+   rejects tenants no machine can host (reserved ways, vCPU slots, or COS
+   classes exhausted);
+3. **step** — every machine advances one simulation interval;
+4. **account** — each resident tenant's measured IPC is compared against
+   its entitlement (deterministic IPC at its reserved ways) by the
+   :class:`~repro.cloud.slo.SloAccountant`.
+
+Lifecycle decisions publish ``TenantAdmitted`` / ``TenantPlaced`` /
+``TenantRejected`` / ``TenantDeparted`` on the event bus, so the JSONL
+trace and metrics sinks see fleet churn exactly like any other layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.analytical import AccessPattern
+from repro.cloud.lifecycle import TenantSpec, scripted_tenants
+from repro.cloud.placement import PlacementPolicy
+from repro.cloud.slo import SloAccountant, TenantSloStats
+from repro.engine.events import (
+    EventBus,
+    TenantAdmitted,
+    TenantDeparted,
+    TenantPlaced,
+    TenantRejected,
+    get_default_bus,
+)
+from repro.platform.machine import Machine
+from repro.platform.managers import CacheManager
+from repro.platform.sim import CloudSimulation, SimulationResult
+from repro.platform.vm import VirtualMachine
+
+__all__ = [
+    "ResidentTenant",
+    "FleetMachine",
+    "PlacementRecord",
+    "FleetResult",
+    "CloudFleet",
+    "entitled_ipc",
+]
+
+
+def entitled_ipc(
+    machine: Machine,
+    vm: VirtualMachine,
+    dram_latency_cycles: Optional[float] = None,
+) -> Optional[float]:
+    """The IPC the tenant's reservation alone entitles it to, this phase.
+
+    Deterministic (noise-free): the analytical hit rate of the current
+    phase at ``baseline_ways``, through the core model's CPI.  Passing the
+    machine's *loaded* DRAM latency keeps the entitlement cache-side — a
+    tenant slowed only by fleet-wide memory-bandwidth load is not having
+    its cache contract violated.  ``None`` once the workload has finished.
+    """
+    phase = vm.workload.current_phase()
+    if phase is None:
+        return None
+    hit = 0.0
+    if (
+        phase.pattern is not AccessPattern.NONE
+        and phase.wss_bytes > 0
+        and phase.behavior.l1_miss_ratio > 0
+    ):
+        ways = min(vm.baseline_ways, machine.num_ways)
+        hit = machine.analytic.hit_rate_fp(phase.footprint, ways)
+    cpi = machine.core_models[vm.vcpus[0]].cpi(
+        phase.behavior, hit, dram_latency=dram_latency_cycles
+    )
+    return 1.0 / cpi
+
+
+@dataclass
+class ResidentTenant:
+    """A tenant currently hosted on one machine."""
+
+    spec: TenantSpec
+    vm: VirtualMachine
+    admitted_s: float
+
+    @property
+    def lease_end_s(self) -> float:
+        if self.spec.lifetime_s is None:
+            return float("inf")
+        return self.admitted_s + self.spec.lifetime_s
+
+
+class FleetMachine:
+    """One host of the fleet: a machine, its manager, and resource pools.
+
+    Tracks the three admission budgets — hardware-thread slots, allocatable
+    COS classes, and reserved LLC ways — and performs attach/detach against
+    its :class:`~repro.platform.sim.CloudSimulation`.
+
+    Args:
+        name: Fleet-unique machine name.
+        machine: The simulated host.
+        manager: Its cache-management regime (one instance per machine).
+        bus: Event bus handed to the simulation.
+        vcpus_per_vm: Dedicated hardware threads per tenant (paper: 2).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        machine: Machine,
+        manager: CacheManager,
+        bus: Optional[EventBus] = None,
+        vcpus_per_vm: int = 2,
+    ) -> None:
+        if vcpus_per_vm < 1:
+            raise ValueError("vcpus_per_vm must be >= 1")
+        self.name = name
+        self.machine = machine
+        self.vcpus_per_vm = vcpus_per_vm
+        self.sim = CloudSimulation(machine, [], manager, bus=bus)
+        self.residents: Dict[str, ResidentTenant] = {}
+        self.reserved_ways = 0
+        self._free_threads: List[int] = list(range(machine.spec.num_threads))
+        # COS0 is the unmanaged default; the rest are allocatable tenants.
+        self._cos_capacity = machine.pqos.cap_get().num_cos - 1
+
+    # -- capacity ----------------------------------------------------------
+
+    @property
+    def free_ways(self) -> int:
+        """Reserved-way headroom (not the controller's live free pool)."""
+        return self.machine.num_ways - self.reserved_ways
+
+    @property
+    def free_thread_slots(self) -> int:
+        return len(self._free_threads) // self.vcpus_per_vm
+
+    def fits(self, baseline_ways: int) -> bool:
+        """Whether one more tenant with this reservation can be hosted."""
+        return (
+            len(self._free_threads) >= self.vcpus_per_vm
+            and len(self.residents) < self._cos_capacity
+            and self.reserved_ways + baseline_ways <= self.machine.num_ways
+        )
+
+    # -- churn -------------------------------------------------------------
+
+    def admit(self, spec: TenantSpec, workload, now: float) -> VirtualMachine:
+        """Attach a tenant: pin the lowest free threads and register it."""
+        if not self.fits(spec.baseline_ways):
+            raise ValueError(f"machine {self.name!r} cannot host {spec.name!r}")
+        vcpus = tuple(self._free_threads[: self.vcpus_per_vm])
+        vm = VirtualMachine(
+            name=spec.name,
+            workload=workload,
+            vcpus=vcpus,
+            baseline_ways=spec.baseline_ways,
+        )
+        self.sim.attach_vm(vm)
+        del self._free_threads[: self.vcpus_per_vm]
+        self.reserved_ways += spec.baseline_ways
+        self.residents[spec.name] = ResidentTenant(
+            spec=spec, vm=vm, admitted_s=now
+        )
+        return vm
+
+    def depart(self, tenant_id: str) -> ResidentTenant:
+        """Detach a tenant and return its pooled resources."""
+        resident = self.residents.pop(tenant_id)
+        self.sim.detach_vm(tenant_id)
+        self._free_threads.extend(resident.vm.vcpus)
+        self._free_threads.sort()
+        self.reserved_ways -= resident.spec.baseline_ways
+        return resident
+
+
+@dataclass(frozen=True)
+class PlacementRecord:
+    """One admission decision (kept in arrival order)."""
+
+    time_s: float
+    tenant_id: str
+    machine: Optional[str]  # None => rejected
+    reason: str  # "placed" or why the tenant was rejected
+
+
+@dataclass
+class FleetResult:
+    """Everything one fleet run produced."""
+
+    interval_s: float
+    machines: Dict[str, SimulationResult] = field(default_factory=dict)
+    tenants: Dict[str, TenantSloStats] = field(default_factory=dict)
+    placements: List[PlacementRecord] = field(default_factory=list)
+    summary: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def admitted(self) -> List[PlacementRecord]:
+        return [p for p in self.placements if p.machine is not None]
+
+    @property
+    def rejected(self) -> List[PlacementRecord]:
+        return [p for p in self.placements if p.machine is None]
+
+
+class CloudFleet:
+    """Drives a machine fleet through a tenant lifecycle stream.
+
+    Args:
+        machines: The hosts (names must be unique; equal intervals).
+        policy: Placement policy for arrivals.
+        tenants: The lifecycle stream (any order; sorted internally).
+        bus: Event bus for tenant lifecycle events (defaults to the
+            process default bus, so ``--trace`` captures fleet churn).
+        slo_tolerance: Relative shortfall tolerated before an interval
+            counts as an SLO violation.
+    """
+
+    def __init__(
+        self,
+        machines: Sequence[FleetMachine],
+        policy: PlacementPolicy,
+        tenants: Sequence[TenantSpec],
+        bus: Optional[EventBus] = None,
+        slo_tolerance: float = 0.05,
+    ) -> None:
+        if not machines:
+            raise ValueError("a fleet needs at least one machine")
+        names = [m.name for m in machines]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate machine names: {names}")
+        intervals = {m.machine.interval_s for m in machines}
+        if len(intervals) != 1:
+            raise ValueError("all fleet machines must share one interval_s")
+        self.machines = list(machines)
+        self.policy = policy
+        self.bus = bus if bus is not None else get_default_bus()
+        self.interval_s = machines[0].machine.interval_s
+        self._pending = scripted_tenants(tenants)
+        self._next_arrival = 0
+        self._time_s = 0.0
+        self.accountant = SloAccountant(self.interval_s, tolerance=slo_tolerance)
+        self.placements: List[PlacementRecord] = []
+
+    @property
+    def now(self) -> float:
+        return self._time_s
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, duration_s: float) -> FleetResult:
+        """Advance the whole fleet by ``duration_s`` of virtual time."""
+        if duration_s < 0:
+            raise ValueError(f"duration_s must be >= 0, got {duration_s}")
+        steps = int(round(duration_s / self.interval_s))
+        for _ in range(steps):
+            self.step()
+        return self.result()
+
+    def step(self) -> None:
+        """One fleet interval: depart, admit, simulate, account."""
+        now = self._time_s
+        self._process_departures(now)
+        self._process_arrivals(now)
+        entitlements = self._snapshot_entitlements()
+        for machine in self.machines:
+            machine.sim.step()
+        self._account(now, entitlements)
+        self._time_s += self.interval_s
+
+    def result(self) -> FleetResult:
+        return FleetResult(
+            interval_s=self.interval_s,
+            machines={m.name: m.sim.result for m in self.machines},
+            tenants=dict(self.accountant.tenants),
+            placements=list(self.placements),
+            summary=self.accountant.fleet_summary(),
+        )
+
+    # -- interval stages -----------------------------------------------------
+
+    def _process_departures(self, now: float) -> None:
+        for machine in self.machines:
+            due = [
+                tid
+                for tid, res in machine.residents.items()
+                if res.lease_end_s <= now or res.vm.workload.finished
+            ]
+            for tid in due:
+                resident = machine.depart(tid)
+                reason = (
+                    "finished" if resident.vm.workload.finished else "lease-end"
+                )
+                self.accountant.departed(tid, now)
+                if self.bus.active:
+                    self.bus.emit(
+                        TenantDeparted.fast(
+                            time_s=now,
+                            tenant_id=tid,
+                            machine=machine.name,
+                            reason=reason,
+                        )
+                    )
+
+    def _process_arrivals(self, now: float) -> None:
+        bus = self.bus
+        while (
+            self._next_arrival < len(self._pending)
+            and self._pending[self._next_arrival].arrival_s <= now
+        ):
+            spec = self._pending[self._next_arrival]
+            self._next_arrival += 1
+            workload = spec.build_workload()
+            chosen = self.policy.place(spec, workload, self.machines)
+            if chosen is None:
+                self.placements.append(
+                    PlacementRecord(
+                        time_s=now,
+                        tenant_id=spec.name,
+                        machine=None,
+                        reason="no-capacity",
+                    )
+                )
+                if bus.active:
+                    bus.emit(
+                        TenantRejected.fast(
+                            time_s=now, tenant_id=spec.name, reason="no-capacity"
+                        )
+                    )
+                continue
+            if bus.active:
+                bus.emit(
+                    TenantPlaced.fast(
+                        time_s=now,
+                        tenant_id=spec.name,
+                        machine=chosen.name,
+                        policy=self.policy.name,
+                    )
+                )
+            chosen.admit(spec, workload, now)
+            self.accountant.admitted(spec.name, chosen.name, now)
+            self.placements.append(
+                PlacementRecord(
+                    time_s=now,
+                    tenant_id=spec.name,
+                    machine=chosen.name,
+                    reason="placed",
+                )
+            )
+            if bus.active:
+                bus.emit(
+                    TenantAdmitted.fast(
+                        time_s=now,
+                        tenant_id=spec.name,
+                        machine=chosen.name,
+                        baseline_ways=spec.baseline_ways,
+                    )
+                )
+
+    def _snapshot_entitlements(self) -> Dict[str, Optional[float]]:
+        """Entitled IPC per resident, from the phase about to execute."""
+        entitlements: Dict[str, Optional[float]] = {}
+        for machine in self.machines:
+            dram_latency = machine.sim.dram_latency_cycles
+            for tid, resident in machine.residents.items():
+                entitlements[tid] = entitled_ipc(
+                    machine.machine, resident.vm, dram_latency_cycles=dram_latency
+                )
+        return entitlements
+
+    def _account(
+        self, now: float, entitlements: Dict[str, Optional[float]]
+    ) -> None:
+        for machine in self.machines:
+            for tid in machine.residents:
+                timeline = machine.sim.result.records[tid]
+                if not timeline:
+                    continue
+                record = timeline[-1]
+                active = (
+                    record.phase_name is not None
+                    and "idle" not in record.phase_name
+                )
+                self.accountant.observe(
+                    tid,
+                    now,
+                    ipc=record.ipc,
+                    entitled_ipc=entitlements.get(tid),
+                    active=active,
+                )

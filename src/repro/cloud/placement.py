@@ -1,0 +1,174 @@
+"""Placement policies: which machine gets an arriving tenant.
+
+A policy sees the arriving tenant (spec plus its already-built workload)
+and the fleet's machines, and returns the chosen machine or ``None`` when
+nothing fits (the fleet then rejects the tenant).  Three policies are
+provided:
+
+* :class:`FirstFitPolicy` — the first machine whose reserved-way, vCPU and
+  COS budgets all fit; the classic baseline.
+* :class:`LeastLoadedPolicy` — the fitting machine with the lowest
+  reserved-way utilization, spreading reservations evenly.
+* :class:`SensitivityAwarePolicy` — LFOC-style: estimate how much the
+  tenant's hit rate would improve beyond its reservation (the curvature of
+  its hit-rate-vs-ways curve, the same quantity dCat's performance tables
+  learn online) and route cache-sensitive tenants to the machine with the
+  most spare ways while packing insensitive ones tightly, keeping headroom
+  for the tenants that can use it.
+
+Every policy is deterministic: ties break on fleet order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cache.analytical import AccessPattern
+from repro.cloud.lifecycle import TenantSpec
+from repro.workloads.base import PhasedWorkload, Workload
+
+if TYPE_CHECKING:  # placement sees machines; fleet imports placement
+    from repro.cloud.fleet import FleetMachine
+
+__all__ = [
+    "PlacementPolicy",
+    "FirstFitPolicy",
+    "LeastLoadedPolicy",
+    "SensitivityAwarePolicy",
+    "cache_sensitivity",
+    "build_policy",
+    "policy_names",
+]
+
+
+def cache_sensitivity(
+    workload: Workload, machine: "FleetMachine", baseline_ways: int
+) -> float:
+    """Mean per-way hit-rate gain beyond the reservation (curve curvature).
+
+    Evaluates the analytical LLC model on the workload's largest-footprint
+    phase at ``baseline_ways`` and at the full LLC; the slope between the
+    two is how much each extra way is worth.  A streaming scan or a
+    working set that already fits in the reservation scores ~0, exactly the
+    tenants LFOC packs tightly.
+    """
+    if isinstance(workload, PhasedWorkload):
+        phases = workload.peek_phases()
+    else:
+        phase = workload.current_phase()
+        phases = [phase] if phase is not None else []
+    candidates = [
+        p for p in phases if p.pattern is not AccessPattern.NONE and p.wss_bytes > 0
+    ]
+    if not candidates:
+        return 0.0
+    phase = max(candidates, key=lambda p: p.wss_bytes)
+    analytic = machine.machine.analytic
+    total = machine.machine.num_ways
+    ways = min(baseline_ways, total)
+    if ways >= total:
+        return 0.0
+    gain = analytic.hit_rate_fp(phase.footprint, total) - analytic.hit_rate_fp(
+        phase.footprint, ways
+    )
+    return max(0.0, gain) / (total - ways)
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a machine for an arriving tenant (or ``None`` to reject)."""
+
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def place(
+        self,
+        tenant: TenantSpec,
+        workload: Workload,
+        machines: Sequence["FleetMachine"],
+    ) -> Optional["FleetMachine"]:
+        """The machine that should host ``tenant``, or ``None``."""
+
+    @staticmethod
+    def _fitting(
+        tenant: TenantSpec, machines: Sequence["FleetMachine"]
+    ) -> Sequence["FleetMachine"]:
+        return [m for m in machines if m.fits(tenant.baseline_ways)]
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """First machine (in fleet order) with room for the reservation."""
+
+    name = "first_fit"
+
+    def place(self, tenant, workload, machines):
+        fitting = self._fitting(tenant, machines)
+        return fitting[0] if fitting else None
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Fitting machine with the lowest reserved-way utilization."""
+
+    name = "least_loaded"
+
+    def place(self, tenant, workload, machines):
+        fitting = self._fitting(tenant, machines)
+        if not fitting:
+            return None
+        return min(
+            fitting, key=lambda m: (m.reserved_ways / m.machine.num_ways,)
+        )
+
+
+class SensitivityAwarePolicy(PlacementPolicy):
+    """Give cache-sensitive tenants headroom; pack insensitive ones tight.
+
+    Args:
+        threshold: Per-way hit-rate gain above which a tenant counts as
+            cache-sensitive (defaults to 1% per way).
+    """
+
+    name = "sensitivity"
+
+    def __init__(self, threshold: float = 0.01) -> None:
+        if threshold < 0:
+            raise ValueError("threshold cannot be negative")
+        self.threshold = threshold
+
+    def place(self, tenant, workload, machines):
+        fitting = self._fitting(tenant, machines)
+        if not fitting:
+            return None
+        sensitivity = cache_sensitivity(workload, fitting[0], tenant.baseline_ways)
+        if sensitivity >= self.threshold:
+            # Most spare reserved ways first: room to grow beyond baseline.
+            return max(fitting, key=lambda m: (m.free_ways, -machines.index(m)))
+        # Insensitive: fill the fullest machine that still fits.
+        return min(fitting, key=lambda m: (m.free_ways, machines.index(m)))
+
+
+_POLICIES = {
+    FirstFitPolicy.name: FirstFitPolicy,
+    LeastLoadedPolicy.name: LeastLoadedPolicy,
+    SensitivityAwarePolicy.name: SensitivityAwarePolicy,
+}
+
+
+def policy_names() -> Sequence[str]:
+    """The placement policy names churn scenarios accept."""
+    return sorted(_POLICIES)
+
+
+def build_policy(name: str) -> PlacementPolicy:
+    """Instantiate a policy by name (``first_fit``/``least_loaded``/``sensitivity``).
+
+    Raises:
+        ValueError: For an unknown name.
+    """
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown placement policy {name!r}; use one of {sorted(_POLICIES)}"
+        ) from None
+    return cls()

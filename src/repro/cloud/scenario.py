@@ -1,0 +1,305 @@
+"""Declarative churn scenarios: a fleet plus a tenant lifecycle stream.
+
+The cloud-layer counterpart of :mod:`repro.harness.scenario_file`: one JSON
+document describes the fleet (how many machines, which socket, seeds), the
+management regime, the placement policy, and the tenant stream — scripted
+entries, a Poisson stream, or both.  Workload descriptions use exactly the
+same ``{"type": ...}`` vocabulary as plain scenario files.
+
+Example::
+
+    {
+      "fleet": {"machines": 2, "socket": "xeon_d", "seed": 7},
+      "manager": {"type": "dcat"},
+      "placement": "sensitivity",
+      "duration_s": 30,
+      "tenants": [
+        {"name": "db", "arrival_s": 0, "baseline_ways": 4,
+         "lifetime_s": 20, "workload": {"type": "postgres"}}
+      ],
+      "poisson": {
+        "rate_per_s": 0.25, "seed": 42,
+        "mix": [
+          {"weight": 2, "baseline_ways": 3, "mean_lifetime_s": 10,
+           "workload": {"type": "mlr", "wss_mb": 8}},
+          {"weight": 1, "baseline_ways": 3, "mean_lifetime_s": 10,
+           "workload": {"type": "mload", "wss_mb": 60}}
+        ]
+      }
+    }
+
+Run from the CLI with ``dcat-experiment churn path/to/file.json``.  Every
+validation error names the offending field with its entry context (e.g.
+``tenants[2].baseline_ways``) and exits with status 2, like plain scenario
+errors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.cloud.fleet import CloudFleet, FleetMachine, FleetResult
+from repro.cloud.lifecycle import MixEntry, TenantSpec, poisson_tenants
+from repro.cloud.placement import build_policy, policy_names
+from repro.engine.runner import derive_seed
+from repro.harness.scenario_file import (
+    ScenarioError,
+    build_manager,
+    build_workload,
+    workload_kinds,
+)
+from repro.platform.machine import Machine
+
+__all__ = [
+    "ChurnScenarioError",
+    "load_churn_scenario",
+    "run_churn_scenario",
+]
+
+_SOCKETS = {"xeon_e5", "xeon_d"}
+
+
+class ChurnScenarioError(ScenarioError):
+    """A churn-scenario file is malformed; the message carries the field
+    path (e.g. ``tenants[2].workload.type``) so the entry is findable."""
+
+
+def _require_mapping(value: Any, ctx: str) -> Dict[str, Any]:
+    if not isinstance(value, dict):
+        raise ChurnScenarioError(f"{ctx}: expected an object, got {type(value).__name__}")
+    return value
+
+
+def _get_number(
+    obj: Dict[str, Any],
+    ctx: str,
+    key: str,
+    default: Optional[float] = None,
+    positive: bool = False,
+    required: bool = False,
+) -> Optional[float]:
+    if key not in obj:
+        if required:
+            raise ChurnScenarioError(f"{ctx}.{key}: missing required field")
+        return default
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ChurnScenarioError(f"{ctx}.{key}: expected a number, got {value!r}")
+    if positive and value <= 0:
+        raise ChurnScenarioError(f"{ctx}.{key}: must be positive, got {value!r}")
+    return float(value)
+
+
+def _get_int(
+    obj: Dict[str, Any],
+    ctx: str,
+    key: str,
+    default: Optional[int] = None,
+    minimum: Optional[int] = None,
+    required: bool = False,
+) -> Optional[int]:
+    if key not in obj:
+        if required:
+            raise ChurnScenarioError(f"{ctx}.{key}: missing required field")
+        return default
+    value = obj[key]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ChurnScenarioError(f"{ctx}.{key}: expected an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ChurnScenarioError(f"{ctx}.{key}: must be >= {minimum}, got {value}")
+    return value
+
+
+def _checked_workload(obj: Dict[str, Any], ctx: str, name: str) -> Dict[str, Any]:
+    """Validate a workload spec eagerly (by building it once)."""
+    spec = _require_mapping(obj.get("workload"), f"{ctx}.workload")
+    kind = spec.get("type")
+    if kind not in workload_kinds():
+        raise ChurnScenarioError(
+            f"{ctx}.workload.type: unknown workload type {kind!r}; "
+            f"use one of {workload_kinds()}"
+        )
+    try:
+        build_workload(kind, name, dict(spec))
+    except ScenarioError as exc:
+        raise ChurnScenarioError(f"{ctx}.workload: {exc}") from None
+    except (TypeError, ValueError) as exc:
+        raise ChurnScenarioError(f"{ctx}.workload: {exc}") from None
+    return dict(spec)
+
+
+def _parse_tenants(entries: Any) -> List[TenantSpec]:
+    if not isinstance(entries, list):
+        raise ChurnScenarioError("tenants: expected a list")
+    tenants: List[TenantSpec] = []
+    for i, raw in enumerate(entries):
+        ctx = f"tenants[{i}]"
+        entry = _require_mapping(raw, ctx)
+        name = entry.get("name", f"tenant-{i}")
+        if not isinstance(name, str) or not name:
+            raise ChurnScenarioError(f"{ctx}.name: expected a non-empty string")
+        arrival = _get_number(entry, ctx, "arrival_s", default=0.0)
+        if arrival < 0:
+            raise ChurnScenarioError(f"{ctx}.arrival_s: must be >= 0, got {arrival}")
+        lifetime = _get_number(entry, ctx, "lifetime_s", default=None, positive=True)
+        baseline = _get_int(entry, ctx, "baseline_ways", default=3, minimum=1)
+        workload = _checked_workload(entry, ctx, name)
+        tenants.append(
+            TenantSpec(
+                name=name,
+                arrival_s=arrival,
+                baseline_ways=baseline,
+                workload=workload,
+                lifetime_s=lifetime,
+            )
+        )
+    return tenants
+
+
+def _parse_poisson(spec: Any, duration_s: float) -> List[TenantSpec]:
+    ctx = "poisson"
+    obj = _require_mapping(spec, ctx)
+    rate = _get_number(obj, ctx, "rate_per_s", positive=True, required=True)
+    seed = _get_int(obj, ctx, "seed", default=1234)
+    prefix = obj.get("name_prefix", "tenant")
+    if not isinstance(prefix, str) or not prefix:
+        raise ChurnScenarioError(f"{ctx}.name_prefix: expected a non-empty string")
+    raw_mix = obj.get("mix")
+    if not isinstance(raw_mix, list) or not raw_mix:
+        raise ChurnScenarioError(f"{ctx}.mix: expected a non-empty list")
+    mix: List[MixEntry] = []
+    for i, raw in enumerate(raw_mix):
+        entry_ctx = f"{ctx}.mix[{i}]"
+        entry = _require_mapping(raw, entry_ctx)
+        weight = _get_number(entry, entry_ctx, "weight", default=1.0, positive=True)
+        baseline = _get_int(entry, entry_ctx, "baseline_ways", default=3, minimum=1)
+        lifetime = _get_number(
+            entry, entry_ctx, "mean_lifetime_s", default=12.0, positive=True
+        )
+        workload = _checked_workload(entry, entry_ctx, f"{prefix}-mix{i}")
+        mix.append(
+            MixEntry(
+                workload=workload,
+                baseline_ways=baseline,
+                weight=weight,
+                mean_lifetime_s=lifetime,
+            )
+        )
+    return poisson_tenants(
+        rate_per_s=rate,
+        duration_s=duration_s,
+        mix=mix,
+        seed=seed,
+        name_prefix=prefix,
+    )
+
+
+def load_churn_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+) -> Tuple[CloudFleet, float]:
+    """Parse a churn scenario (dict, JSON string, or file path).
+
+    Returns:
+        ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
+
+    Raises:
+        ChurnScenarioError: On any malformed field, naming field and entry.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        path = Path(source)
+        try:
+            is_file = path.exists()
+        except OSError:
+            is_file = False
+        if is_file:
+            data = json.loads(path.read_text())
+        else:
+            try:
+                data = json.loads(str(source))
+            except json.JSONDecodeError:
+                raise ChurnScenarioError(
+                    f"churn scenario {source!r} is neither a file nor valid JSON"
+                ) from None
+    data = _require_mapping(data, "scenario")
+
+    fleet_spec = _require_mapping(data.get("fleet", {}), "fleet")
+    n_machines = _get_int(fleet_spec, "fleet", "machines", default=2, minimum=1)
+    socket = fleet_spec.get("socket", "xeon_d")
+    if socket not in _SOCKETS:
+        raise ChurnScenarioError(
+            f"fleet.socket: unknown socket {socket!r}; use one of {sorted(_SOCKETS)}"
+        )
+    seed = _get_int(fleet_spec, "fleet", "seed", default=1234)
+    interval_s = _get_number(fleet_spec, "fleet", "interval_s", default=1.0, positive=True)
+    vcpus_per_vm = _get_int(fleet_spec, "fleet", "vcpus_per_vm", default=2, minimum=1)
+
+    duration_s = _get_number(data, "scenario", "duration_s", default=30.0, positive=True)
+
+    placement = data.get("placement", "first_fit")
+    if isinstance(placement, dict):
+        placement = placement.get("policy", "first_fit")
+    if not isinstance(placement, str) or placement not in policy_names():
+        raise ChurnScenarioError(
+            f"placement: unknown policy {placement!r}; use one of {policy_names()}"
+        )
+
+    slo_spec = _require_mapping(data.get("slo", {}), "slo")
+    tolerance = _get_number(slo_spec, "slo", "tolerance", default=0.05)
+    if not 0.0 <= tolerance < 1.0:
+        raise ChurnScenarioError(
+            f"slo.tolerance: must be within [0, 1), got {tolerance}"
+        )
+
+    tenants = _parse_tenants(data.get("tenants", []))
+    if "poisson" in data:
+        tenants = tenants + _parse_poisson(data["poisson"], duration_s)
+    if not tenants:
+        raise ChurnScenarioError(
+            "scenario: needs a non-empty 'tenants' list and/or a 'poisson' stream"
+        )
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
+
+    manager_spec = data.get("manager", {"type": "dcat"})
+    from repro.harness.scenario_file import _SOCKETS as SOCKET_FACTORIES
+
+    machines: List[FleetMachine] = []
+    for i in range(n_machines):
+        name = f"m{i}"
+        machine = Machine(
+            spec=SOCKET_FACTORIES[socket](),
+            seed=derive_seed(seed, name),
+            interval_s=interval_s,
+        )
+        try:
+            manager = build_manager(_require_mapping(manager_spec, "manager"))
+        except ScenarioError as exc:
+            raise ChurnScenarioError(f"manager: {exc}") from None
+        machines.append(
+            FleetMachine(
+                name=name,
+                machine=machine,
+                manager=manager,
+                vcpus_per_vm=vcpus_per_vm,
+            )
+        )
+
+    fleet = CloudFleet(
+        machines=machines,
+        policy=build_policy(placement),
+        tenants=tenants,
+        slo_tolerance=tolerance,
+    )
+    return fleet, duration_s
+
+
+def run_churn_scenario(source: Union[str, Path, Dict[str, Any]]) -> FleetResult:
+    """Load and run a churn scenario end to end."""
+    fleet, duration_s = load_churn_scenario(source)
+    return fleet.run(duration_s)

@@ -1,0 +1,127 @@
+"""Per-tenant SLO accounting: baseline violations and entitlement ratios.
+
+dCat's contract is that every tenant performs at least as well as it would
+on its statically reserved ways.  The cloud layer checks that contract
+explicitly: each interval, a tenant's measured IPC is compared against its
+*entitled* IPC — the deterministic core-model IPC at the reservation's hit
+rate — and intervals below ``(1 - tolerance)`` of entitlement are counted
+as violations and merged into violation spans.  The per-tenant records
+aggregate into a fleet-wide summary the experiment harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["TenantSloStats", "SloAccountant"]
+
+
+@dataclass
+class TenantSloStats:
+    """One tenant's SLO ledger over its whole residency.
+
+    Attributes:
+        tenant_id: The tenant.
+        machine: Host machine name.
+        admitted_s: Admission time.
+        departed_s: Departure time (``None`` while resident).
+        active_intervals: Intervals with a non-idle phase observed.
+        violation_intervals: Active intervals below the SLO threshold.
+        normalized_sum: Sum over active intervals of measured/entitled IPC.
+        violation_spans: Merged ``[start, end)`` spans of violation time.
+    """
+
+    tenant_id: str
+    machine: str
+    admitted_s: float
+    departed_s: Optional[float] = None
+    active_intervals: int = 0
+    violation_intervals: int = 0
+    normalized_sum: float = 0.0
+    violation_spans: List[Tuple[float, float]] = field(default_factory=list)
+
+    @property
+    def mean_normalized_ipc(self) -> float:
+        """Mean measured-over-entitled IPC (>= 1 means the SLO was beaten)."""
+        if not self.active_intervals:
+            return 0.0
+        return self.normalized_sum / self.active_intervals
+
+    @property
+    def violation_fraction(self) -> float:
+        if not self.active_intervals:
+            return 0.0
+        return self.violation_intervals / self.active_intervals
+
+
+class SloAccountant:
+    """Accumulates per-tenant SLO ledgers for one fleet run.
+
+    Args:
+        interval_s: The fleet's control interval (span bookkeeping).
+        tolerance: Allowed relative shortfall before an interval counts as
+            a violation (absorbs the core model's measurement noise).
+    """
+
+    def __init__(self, interval_s: float, tolerance: float = 0.05) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0.0 <= tolerance < 1.0:
+            raise ValueError("tolerance must be within [0, 1)")
+        self.interval_s = interval_s
+        self.tolerance = tolerance
+        self.tenants: Dict[str, TenantSloStats] = {}
+
+    def admitted(self, tenant_id: str, machine: str, time_s: float) -> None:
+        if tenant_id in self.tenants:
+            raise ValueError(f"tenant {tenant_id!r} already has a ledger")
+        self.tenants[tenant_id] = TenantSloStats(
+            tenant_id=tenant_id, machine=machine, admitted_s=time_s
+        )
+
+    def departed(self, tenant_id: str, time_s: float) -> None:
+        self.tenants[tenant_id].departed_s = time_s
+
+    def observe(
+        self,
+        tenant_id: str,
+        time_s: float,
+        ipc: float,
+        entitled_ipc: Optional[float],
+        active: bool,
+    ) -> None:
+        """Account one interval of one tenant.
+
+        Idle intervals (``active=False``) and intervals without a defined
+        entitlement are recorded as non-active and never count against the
+        SLO — an idle tenant is not being violated, it is just quiet.
+        """
+        stats = self.tenants[tenant_id]
+        if not active or entitled_ipc is None or entitled_ipc <= 0:
+            return
+        stats.active_intervals += 1
+        stats.normalized_sum += ipc / entitled_ipc
+        if ipc < (1.0 - self.tolerance) * entitled_ipc:
+            stats.violation_intervals += 1
+            end = time_s + self.interval_s
+            spans = stats.violation_spans
+            if spans and abs(spans[-1][1] - time_s) < 1e-9:
+                spans[-1] = (spans[-1][0], end)
+            else:
+                spans.append((time_s, end))
+
+    # -- aggregation -----------------------------------------------------------
+
+    def fleet_summary(self) -> Dict[str, float]:
+        """Fleet-wide totals: tenants, active/violation intervals, ratios."""
+        active = sum(s.active_intervals for s in self.tenants.values())
+        violations = sum(s.violation_intervals for s in self.tenants.values())
+        normalized = sum(s.normalized_sum for s in self.tenants.values())
+        return {
+            "tenants": float(len(self.tenants)),
+            "active_intervals": float(active),
+            "violation_intervals": float(violations),
+            "violation_fraction": violations / active if active else 0.0,
+            "mean_normalized_ipc": normalized / active if active else 0.0,
+        }

@@ -46,6 +46,8 @@ from repro.engine.events import (
     PhaseChanged,
     SampleCollected,
     StateTransition,
+    WorkloadDeregistered,
+    WorkloadRegistered,
 )
 from repro.engine.pipeline import FunctionStage, StagedLoop
 from repro.hwcounters.perfmon import CounterSample, PerfMonitor
@@ -180,6 +182,15 @@ class DCatController:
         self._records[workload_id] = record
         for core in cores:
             self.pqos.alloc_assoc_set(core, cos_id)
+        if self.bus.active:
+            self.bus.emit(
+                WorkloadRegistered.fast(
+                    time_s=self._time_s,
+                    workload_id=workload_id,
+                    cos_id=cos_id,
+                    baseline_ways=baseline_ways,
+                )
+            )
         return record
 
     def deregister_workload(self, workload_id: str) -> None:
@@ -200,6 +211,65 @@ class DCatController:
         )
         heapq.heappush(self._free_cos, record.cos_id)
         self._masks.pop(workload_id, None)
+        if self.bus.active:
+            self.bus.emit(
+                WorkloadDeregistered.fast(
+                    time_s=self._time_s,
+                    workload_id=workload_id,
+                    cos_id=record.cos_id,
+                )
+            )
+
+    def admit_workload(
+        self, workload_id: str, cores: Sequence[int], baseline_ways: int
+    ) -> WorkloadRecord:
+        """Register a workload mid-run and carve out its baseline allocation.
+
+        Unlike :meth:`register_workload` + :meth:`initialize` (which resets
+        everyone to baseline), this reclaims only what the newcomer's
+        reservation needs: first the free pool, then surplus ways above the
+        incumbents' baselines, largest surplus first.  The resulting plan is
+        packed and programmed immediately, so the newcomer never observes the
+        power-on full mask.
+
+        Raises:
+            ValueError: If the reservations cannot fit even after reclaiming
+                every surplus way (the registration is rolled back).
+        """
+        record = self.register_workload(workload_id, cores, baseline_ways)
+        plan = {
+            wid: rec.ways
+            for wid, rec in self._records.items()
+            if wid != workload_id
+        }
+        needed = baseline_ways - (self.total_ways - sum(plan.values()))
+        if needed > 0:
+            surplus_order = sorted(
+                plan,
+                key=lambda wid: (
+                    -(plan[wid] - self._records[wid].baseline_ways),
+                    wid,
+                ),
+            )
+            for wid in surplus_order:
+                if needed <= 0:
+                    break
+                take = min(plan[wid] - self._records[wid].baseline_ways, needed)
+                if take > 0:
+                    plan[wid] -= take
+                    needed -= take
+        if needed > 0:
+            self.deregister_workload(workload_id)
+            raise ValueError(
+                f"cannot admit {workload_id!r}: {baseline_ways} reserved way(s) "
+                f"do not fit next to the incumbents' reservations"
+            )
+        plan[workload_id] = baseline_ways
+        self._apply_plan(plan)
+        for wid, ways in plan.items():
+            self._records[wid].ways = ways
+        record.prev_ways = baseline_ways
+        return record
 
     @property
     def records(self) -> Dict[str, WorkloadRecord]:

@@ -40,6 +40,12 @@ __all__ = [
     "SampleCollected",
     "PhaseChanged",
     "StateTransition",
+    "WorkloadRegistered",
+    "WorkloadDeregistered",
+    "TenantAdmitted",
+    "TenantPlaced",
+    "TenantRejected",
+    "TenantDeparted",
     "AllocationPlanned",
     "MasksProgrammed",
     "IntervalFinished",
@@ -117,6 +123,58 @@ class StateTransition(Event):
     workload_id: str
     old_state: str
     new_state: str
+
+
+@dataclass(frozen=True)
+class WorkloadRegistered(Event):
+    """A controller started managing a workload (it received a COS)."""
+
+    workload_id: str
+    cos_id: int
+    baseline_ways: int
+
+
+@dataclass(frozen=True)
+class WorkloadDeregistered(Event):
+    """A controller stopped managing a workload; its COS returned to the pool."""
+
+    workload_id: str
+    cos_id: int
+
+
+@dataclass(frozen=True)
+class TenantAdmitted(Event):
+    """The cloud layer accepted a tenant onto a machine."""
+
+    tenant_id: str
+    machine: str
+    baseline_ways: int
+
+
+@dataclass(frozen=True)
+class TenantPlaced(Event):
+    """A placement policy chose a machine for a tenant."""
+
+    tenant_id: str
+    machine: str
+    policy: str
+
+
+@dataclass(frozen=True)
+class TenantRejected(Event):
+    """Admission control turned a tenant away; ``reason`` says why."""
+
+    tenant_id: str
+    reason: str
+
+
+@dataclass(frozen=True)
+class TenantDeparted(Event):
+    """A tenant left its machine (lease expiry or workload completion)."""
+
+    tenant_id: str
+    machine: str
+    reason: str
 
 
 @dataclass(frozen=True)

@@ -4,9 +4,11 @@ Usage::
 
     dcat-experiment list
     dcat-experiment run fig17 [--seed 1234]
+    dcat-experiment run fig10 fig11 --jobs 2
     dcat-experiment run all --jobs 4
     dcat-experiment run fig10 --trace fig10.jsonl
     dcat-experiment scenario my_tenants.json [--vm redis]
+    dcat-experiment churn my_churn.json
 """
 
 from __future__ import annotations
@@ -29,8 +31,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list experiment ids")
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
-    run.add_argument("experiment_id", help="e.g. fig10, tab4, or 'all'")
+    run = sub.add_parser("run", help="run one or more experiments (or 'all')")
+    run.add_argument(
+        "experiment_id", nargs="+", help="e.g. fig10, tab4, or 'all'"
+    )
     run.add_argument("--seed", type=int, default=1234, help="simulation seed")
     run.add_argument(
         "--jobs",
@@ -54,6 +58,11 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="VM(s) to print timelines for (default: all)",
     )
+    churn = sub.add_parser(
+        "churn",
+        help="run a JSON churn scenario over a machine fleet (see repro.cloud.scenario)",
+    )
+    churn.add_argument("path", help="path to the churn-scenario JSON")
     return parser
 
 
@@ -61,11 +70,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "scenario":
         return _run_scenario(args)
+    if args.command == "churn":
+        return _run_churn(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
         return 0
-    ids = list(EXPERIMENTS) if args.experiment_id == "all" else [args.experiment_id]
+    requested = list(args.experiment_id)
+    ids = list(EXPERIMENTS) if "all" in requested else requested
     jobs = args.jobs
     if args.trace is not None and jobs > 1:
         print("--trace requires a serial run; ignoring --jobs", file=sys.stderr)
@@ -111,6 +123,43 @@ def _run_scenario(args) -> int:
                 f"{rec.time_s:6.1f} {rec.phase_name or '-':<18} {rec.ways:5.1f} "
                 f"{rec.llc_hit_rate:6.3f} {rec.ipc:7.3f} {state}"
             )
+    return 0
+
+
+def _run_churn(args) -> int:
+    from repro.harness.scenario_file import ScenarioError
+
+    try:
+        from repro.cloud.scenario import run_churn_scenario
+
+        result = run_churn_scenario(args.path)
+    except ScenarioError as exc:
+        print(f"churn scenario error: {exc}", file=sys.stderr)
+        return 2
+    print("== admissions ==")
+    print(f"{'t':>6} {'tenant':<16} {'machine':<8} outcome")
+    for rec in result.placements:
+        print(
+            f"{rec.time_s:6.1f} {rec.tenant_id:<16} {rec.machine or '-':<8} "
+            f"{rec.reason}"
+        )
+    print()
+    print("== per-tenant SLO ==")
+    print(
+        f"{'tenant':<16} {'machine':<8} {'active':>6} {'viol':>5} "
+        f"{'viol%':>7} {'norm_ipc':>8}"
+    )
+    for tid in sorted(result.tenants):
+        stats = result.tenants[tid]
+        print(
+            f"{tid:<16} {stats.machine:<8} {stats.active_intervals:6d} "
+            f"{stats.violation_intervals:5d} {stats.violation_fraction:7.3f} "
+            f"{stats.mean_normalized_ipc:8.3f}"
+        )
+    print()
+    print("== fleet ==")
+    for key, value in result.summary.items():
+        print(f"{key:<22} {value:.3f}")
     return 0
 
 

@@ -17,6 +17,10 @@ from repro.harness.experiments.apps import (
     run_tab5_multi,
     run_tab6,
 )
+from repro.harness.experiments.cloud import (
+    run_cloud_churn_poisson,
+    run_cloud_churn_scripted,
+)
 from repro.harness.experiments.micro import run_fig1, run_fig2, run_fig3, run_fig5
 from repro.harness.experiments.params import run_fig8, run_fig9
 from repro.harness.experiments.spec2006 import run_fig17, run_tab3
@@ -57,6 +61,8 @@ EXPERIMENTS: Dict[str, Runner] = {
     "tab5": run_tab5,
     "tab5_multi": run_tab5_multi,
     "tab6": run_tab6,
+    "cloud_churn_poisson": run_cloud_churn_poisson,
+    "cloud_churn_scripted": run_cloud_churn_scripted,
     "ablation_perftable": run_ablation_perftable,
     "ablation_priority": run_ablation_priority,
     "ablation_policy": run_ablation_policy,

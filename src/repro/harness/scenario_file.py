@@ -52,7 +52,14 @@ from repro.workloads.mlr import MlrWorkload
 from repro.workloads.search import ElasticsearchWorkload
 from repro.workloads.spec import spec_workload
 
-__all__ = ["ScenarioError", "load_scenario", "run_scenario_file"]
+__all__ = [
+    "ScenarioError",
+    "build_manager",
+    "build_workload",
+    "load_scenario",
+    "run_scenario_file",
+    "workload_kinds",
+]
 
 
 class ScenarioError(ValueError):
@@ -135,7 +142,28 @@ _SOCKETS = {
 }
 
 
-def _build_manager(spec: Dict[str, Any]) -> CacheManager:
+def workload_kinds() -> List[str]:
+    """The workload ``type`` values scenario and churn files accept."""
+    return sorted(_WORKLOADS)
+
+
+def build_workload(kind: str, name: str, spec: Dict[str, Any]) -> Workload:
+    """Build one workload from its scenario-file ``workload`` spec.
+
+    Shared by plain scenarios and the cloud layer's churn scenarios, so
+    both file formats accept exactly the same workload descriptions.
+
+    Raises:
+        ScenarioError: For an unknown ``kind`` or malformed ``spec``.
+    """
+    if kind not in _WORKLOADS:
+        raise ScenarioError(
+            f"unknown workload type {kind!r}; use one of {sorted(_WORKLOADS)}"
+        )
+    return _WORKLOADS[kind](name, spec)
+
+
+def build_manager(spec: Dict[str, Any]) -> CacheManager:
     kind = spec.get("type", "dcat")
     if kind == "shared":
         return SharedCacheManager()
@@ -227,7 +255,7 @@ def load_scenario(source: Union[str, Path, Dict[str, Any]]):
         raise ScenarioError(f"duplicate VM names: {names}")
     pin_vms(vms, machine.spec)
 
-    manager = _build_manager(data.get("manager", {}))
+    manager = build_manager(data.get("manager", {}))
     duration = float(data.get("duration_s", 30.0))
     if duration <= 0:
         raise ScenarioError("duration_s must be positive")

@@ -49,6 +49,18 @@ class CacheManager(abc.ABC):
     def control(self) -> None:
         """Run one control interval (after counters are updated)."""
 
+    def attach_vm(self, vm: VirtualMachine) -> None:
+        """Start managing a VM that arrived after :meth:`setup`.
+
+        The default is a no-op: the shared manager has nothing to program
+        (everyone fills everywhere), and the static manager's contract is
+        that partitions are fixed at setup time, so a late arrival simply
+        runs unmanaged on COS0.  Dynamic managers override this.
+        """
+
+    def detach_vm(self, vm_name: str) -> None:
+        """Stop managing a departed VM (no-op for shared/static managers)."""
+
     def state_of(self, vm_name: str) -> Optional[WorkloadState]:
         """The controller state of a VM, if this manager tracks one."""
         return None
@@ -125,6 +137,18 @@ class DCatManager(CacheManager):
     def control(self) -> None:
         assert self.controller is not None, "setup() was not called"
         self.last_result = self.controller.step()
+
+    def attach_vm(self, vm: VirtualMachine) -> None:
+        """Admit a VM mid-run: register it and carve out its baseline."""
+        assert self.controller is not None, "setup() was not called"
+        self.controller.admit_workload(
+            vm.name, vm.vcpus, baseline_ways=vm.baseline_ways
+        )
+
+    def detach_vm(self, vm_name: str) -> None:
+        """Release a departed VM's COS, mask, and core associations."""
+        assert self.controller is not None, "setup() was not called"
+        self.controller.deregister_workload(vm_name)
 
     def state_of(self, vm_name: str) -> Optional[WorkloadState]:
         if self.controller is None:

@@ -224,6 +224,12 @@ class CloudSimulation:
             self._rmid_of[vm.name] = rmid
             for core in vm.vcpus:
                 machine.cmt.assoc_rmid(core, rmid)
+        # RMIDs not handed out above form the pool attach_vm() draws from
+        # (RMID 0 stays the unmonitored default, like COS0 on the CAT side).
+        used = set(self._rmid_of.values())
+        self._free_rmids: List[int] = sorted(
+            r for r in range(1, machine.cmt.num_rmids) if r not in used
+        )
         # Previous-interval hit-rate estimate per VM, used to seed the
         # contention solver's reference-rate estimates.
         self._last_hit: Dict[str, float] = {vm.name: 0.5 for vm in vms}
@@ -242,11 +248,76 @@ class CloudSimulation:
             name="sim",
         )
 
+    # -- tenant churn ------------------------------------------------------------
+
+    def attach_vm(self, vm: VirtualMachine) -> None:
+        """Add a VM between intervals (tenant arrival).
+
+        The VM must already have pinned vCPUs that do not overlap any
+        resident VM's.  It gets a fresh RMID, empty timelines, and is handed
+        to the cache manager (``attach_vm``), which for dCat registers it
+        and carves out its baseline ways before the next interval runs.
+
+        Raises:
+            ValueError: On a duplicate name, missing/overlapping vCPUs, or
+                RMID exhaustion.
+        """
+        if any(existing.name == vm.name for existing in self.vms):
+            raise ValueError(f"VM {vm.name!r} is already attached")
+        if not vm.vcpus:
+            raise ValueError(f"VM {vm.name!r} has no pinned vCPUs")
+        in_use = {core for existing in self.vms for core in existing.vcpus}
+        overlap = in_use.intersection(vm.vcpus)
+        if overlap:
+            raise ValueError(
+                f"VM {vm.name!r} overlaps pinned vCPUs {sorted(overlap)}"
+            )
+        if not self._free_rmids:
+            raise ValueError("no free RMIDs left for monitoring")
+        self.manager.attach_vm(vm)
+        rmid = self._free_rmids.pop(0)
+        self._rmid_of[vm.name] = rmid
+        for core in vm.vcpus:
+            self.machine.cmt.assoc_rmid(core, rmid)
+        self.vms.append(vm)
+        self.result.records.setdefault(vm.name, [])
+        self.result.completions.setdefault(vm.name, [])
+        self._last_hit[vm.name] = 0.5
+
+    def detach_vm(self, vm_name: str) -> VirtualMachine:
+        """Remove a VM between intervals (tenant departure).
+
+        The manager releases its control state (COS, masks), the RMID
+        returns to the pool, and the cores fall back to the unmonitored
+        default.  The VM's recorded timelines stay in :attr:`result` so
+        departed tenants remain reportable.
+        """
+        for i, vm in enumerate(self.vms):
+            if vm.name == vm_name:
+                break
+        else:
+            raise ValueError(f"VM {vm_name!r} is not attached")
+        self.manager.detach_vm(vm_name)
+        del self.vms[i]
+        rmid = self._rmid_of.pop(vm_name)
+        for core in vm.vcpus:
+            self.machine.cmt.assoc_rmid(core, 0)
+        if rmid != 0:
+            self._free_rmids.append(rmid)
+            self._free_rmids.sort()
+        self._last_hit.pop(vm_name, None)
+        return vm
+
     # -- main loop ---------------------------------------------------------------
 
     @property
     def now(self) -> float:
         return self._time_s
+
+    @property
+    def dram_latency_cycles(self) -> float:
+        """The loaded DRAM latency the next interval will execute under."""
+        return self._dram_latency
 
     def run(self, duration_s: float, strict: bool = False) -> SimulationResult:
         """Advance the simulation by ``duration_s`` of virtual time.

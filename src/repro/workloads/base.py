@@ -205,6 +205,11 @@ class PhasedWorkload(Workload):
     def phase_index(self) -> int:
         return self._index
 
+    def peek_phases(self) -> Sequence[Phase]:
+        """The full phase sequence (read-only; placement policies inspect
+        footprints before a tenant has ever run)."""
+        return tuple(self._phases)
+
     def remaining_instructions(self) -> Optional[int]:
         """Instructions left in the active phase's budget, if work-bounded."""
         phase = self.current_phase()

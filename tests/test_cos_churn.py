@@ -1,0 +1,178 @@
+"""Tests for COS-id pool behaviour under interleaved register/deregister churn.
+
+The cloud layer attaches and detaches tenants mid-run, so the controller's
+free-COS pool must hand out the lowest freed id first, leave survivors'
+masks untouched, and reset released classes to the power-on full mask.
+``admit_workload`` (mid-run registration) additionally must carve out the
+newcomer's reservation from the free pool and incumbents' surplus only.
+"""
+
+import pytest
+
+from repro.cat.cat import CacheAllocationTechnology
+from repro.cat.pqos import PqosLibrary
+from repro.core.config import DCatConfig
+from repro.core.controller import DCatController
+from repro.engine.events import (
+    EventBus,
+    WorkloadDeregistered,
+    WorkloadRegistered,
+)
+from repro.hwcounters.msr import CorePmu
+from repro.hwcounters.perfmon import PerfMonitor
+
+NUM_WAYS = 20
+FULL_MASK = (1 << NUM_WAYS) - 1
+
+
+def make_controller(num_cores=8, bus=None):
+    cat = CacheAllocationTechnology(num_ways=NUM_WAYS, num_cores=num_cores)
+    pqos = PqosLibrary(cat, way_size_bytes=2359296)
+    controller = DCatController(
+        pqos=pqos,
+        perfmon=PerfMonitor({c: CorePmu() for c in range(num_cores)}),
+        config=DCatConfig(),
+        nominal_cycles_per_core=1_000_000,
+        bus=bus,
+    )
+    return controller, pqos
+
+
+def masks_by_cos(pqos):
+    return {entry.cos_id: entry.ways_mask for entry in pqos.l3ca_get()}
+
+
+class TestCosPoolChurn:
+    def test_freed_ids_reused_lowest_first(self):
+        controller, _ = make_controller()
+        recs = {
+            name: controller.register_workload(name, [i], baseline_ways=2)
+            for i, name in enumerate(["a", "b", "c", "d"])
+        }
+        assert [recs[n].cos_id for n in "abcd"] == [1, 2, 3, 4]
+        controller.deregister_workload("c")
+        controller.deregister_workload("a")
+        # Both 1 and 3 are free; the lowest must come back first.
+        assert controller.register_workload("e", [0], baseline_ways=2).cos_id == 1
+        assert controller.register_workload("f", [2], baseline_ways=2).cos_id == 3
+        assert controller.register_workload("g", [4], baseline_ways=2).cos_id == 5
+
+    def test_interleaved_churn_keeps_ids_dense(self):
+        controller, _ = make_controller()
+        for round_no in range(3):
+            a = controller.register_workload(f"a{round_no}", [0], baseline_ways=2)
+            b = controller.register_workload(f"b{round_no}", [1], baseline_ways=2)
+            assert {a.cos_id, b.cos_id} == {1, 2}
+            controller.deregister_workload(f"a{round_no}")
+            controller.deregister_workload(f"b{round_no}")
+
+    def test_survivor_masks_stable_across_deregister(self):
+        controller, pqos = make_controller()
+        controller.register_workload("a", [0, 1], baseline_ways=4)
+        controller.register_workload("b", [2, 3], baseline_ways=5)
+        controller.register_workload("c", [4, 5], baseline_ways=6)
+        controller.initialize()
+        before = masks_by_cos(pqos)
+        b_cos = controller.records["b"].cos_id
+        controller.deregister_workload("b")
+        after = masks_by_cos(pqos)
+        for name in ("a", "c"):
+            cos = controller.records[name].cos_id
+            assert after[cos] == before[cos], f"{name}'s mask moved"
+        assert after[b_cos] == FULL_MASK
+
+    def test_released_class_reset_to_full_mask(self):
+        controller, pqos = make_controller()
+        rec = controller.register_workload("a", [0], baseline_ways=3)
+        controller.initialize()
+        assert masks_by_cos(pqos)[rec.cos_id] != FULL_MASK
+        controller.deregister_workload("a")
+        assert masks_by_cos(pqos)[rec.cos_id] == FULL_MASK
+
+    def test_cores_fall_back_to_cos0_on_deregister(self):
+        controller, pqos = make_controller()
+        controller.register_workload("a", [0, 1], baseline_ways=3)
+        controller.deregister_workload("a")
+        assert pqos.alloc_assoc_get(0) == 0
+        assert pqos.alloc_assoc_get(1) == 0
+
+    def test_exhaustion_then_release_recovers(self):
+        controller, _ = make_controller(num_cores=16)
+        max_workloads = 15  # COS0 is reserved for the unmanaged default
+        for i in range(max_workloads):
+            controller.register_workload(f"w{i}", [i], baseline_ways=1)
+        with pytest.raises(ValueError, match="classes"):
+            controller.register_workload("overflow", [15], baseline_ways=1)
+        controller.deregister_workload("w7")
+        rec = controller.register_workload("late", [15], baseline_ways=1)
+        assert rec.cos_id == 8  # w7 had COS 8 (ids start at 1)
+
+
+class TestLifecycleEvents:
+    def test_register_and_deregister_events(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        controller, _ = make_controller(bus=bus)
+        rec = controller.register_workload("a", [0], baseline_ways=3)
+        controller.deregister_workload("a")
+        registered = [e for e in seen if isinstance(e, WorkloadRegistered)]
+        deregistered = [e for e in seen if isinstance(e, WorkloadDeregistered)]
+        assert len(registered) == 1
+        assert registered[0].workload_id == "a"
+        assert registered[0].cos_id == rec.cos_id
+        assert registered[0].baseline_ways == 3
+        assert len(deregistered) == 1
+        assert deregistered[0].cos_id == rec.cos_id
+
+
+class TestAdmitWorkload:
+    def test_admit_into_free_pool_leaves_incumbents_alone(self):
+        controller, _ = make_controller()
+        controller.register_workload("a", [0], baseline_ways=3)
+        controller.initialize()
+        controller.admit_workload("b", [1], baseline_ways=4)
+        assert controller.records["a"].ways == 3
+        assert controller.records["b"].ways == 4
+
+    def test_admit_reclaims_surplus_largest_first(self):
+        controller, _ = make_controller()
+        controller.register_workload("a", [0], baseline_ways=3)
+        controller.register_workload("b", [1], baseline_ways=3)
+        controller.initialize()
+        # Simulate growth: a harvested most of the free pool, b a little.
+        controller.records["a"].ways = 12
+        controller.records["b"].ways = 5
+        controller.admit_workload("c", [2], baseline_ways=6)
+        # Free pool had 3 ways; the missing 3 come from a (largest surplus).
+        assert controller.records["a"].ways == 9
+        assert controller.records["b"].ways == 5
+        assert controller.records["c"].ways == 6
+
+    def test_admit_never_cuts_below_baselines(self):
+        controller, _ = make_controller()
+        controller.register_workload("a", [0], baseline_ways=10)
+        controller.register_workload("b", [1], baseline_ways=9)
+        controller.initialize()
+        with pytest.raises(ValueError, match="cannot admit"):
+            controller.admit_workload("c", [2], baseline_ways=4)
+
+    def test_failed_admit_rolls_back_registration(self):
+        controller, _ = make_controller()
+        controller.register_workload("a", [0], baseline_ways=10)
+        controller.register_workload("b", [1], baseline_ways=9)
+        controller.initialize()
+        with pytest.raises(ValueError):
+            controller.admit_workload("c", [2], baseline_ways=4)
+        assert "c" not in controller.records
+        # The rolled-back COS id is free again (lowest-first).
+        assert controller.register_workload("d", [3], baseline_ways=1).cos_id == 3
+
+    def test_admitted_masks_programmed_immediately(self):
+        controller, pqos = make_controller()
+        controller.register_workload("a", [0], baseline_ways=3)
+        controller.initialize()
+        rec = controller.admit_workload("b", [1], baseline_ways=4)
+        mask = masks_by_cos(pqos)[rec.cos_id]
+        assert bin(mask).count("1") == 4
+        assert mask != FULL_MASK
