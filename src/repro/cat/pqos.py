@@ -12,9 +12,19 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List
 
 from repro.cat.cat import CacheAllocationTechnology
-from repro.cat.cos import mask_way_count
+from repro.cat.cos import mask_way_count, validate_cbm
 
-__all__ = ["PqosCapability", "PqosL3Ca", "PqosLibrary"]
+__all__ = ["PqosError", "PqosCapability", "PqosL3Ca", "PqosLibrary"]
+
+
+class PqosError(RuntimeError):
+    """A pqos operation failed (the library-call analogue of PQOS_RETVAL_ERROR).
+
+    The validated in-memory backend never raises this on well-formed input;
+    it exists as the canonical error type for transient hardware-path
+    failures, which :mod:`repro.faults` injects and the hardened controller
+    retries against.
+    """
 
 
 @dataclass(frozen=True)
@@ -66,8 +76,28 @@ class PqosLibrary:
     # -- L3 CA -----------------------------------------------------------------
 
     def l3ca_set(self, entries: Iterable[PqosL3Ca]) -> None:
-        """Program one or more COS masks (mirrors pqos_l3ca_set)."""
-        for entry in entries:
+        """Program one or more COS masks (mirrors pqos_l3ca_set).
+
+        The whole batch is validated before anything is written, so a bad
+        entry can never leave the COS table partially programmed — either
+        every entry lands or none does (the real library likewise validates
+        the full request before touching IA32_L3_MASK_n).
+
+        Raises:
+            ValueError: If any entry's COS id or bitmask is invalid; no
+                mask has been written when this raises.
+        """
+        batch = list(entries)
+        num_cos = self._cat.num_cos
+        for entry in batch:
+            if not 0 <= entry.cos_id < num_cos:
+                raise ValueError(
+                    f"cos_id {entry.cos_id} out of range [0, {num_cos})"
+                )
+            validate_cbm(
+                entry.ways_mask, self._cat.num_ways, self._cat.min_cbm_bits
+            )
+        for entry in batch:
             self._cat.set_cos_mask(entry.cos_id, entry.ways_mask)
 
     def l3ca_get(self) -> List[PqosL3Ca]:

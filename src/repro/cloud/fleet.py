@@ -111,6 +111,9 @@ class FleetMachine:
         manager: Its cache-management regime (one instance per machine).
         bus: Event bus handed to the simulation.
         vcpus_per_vm: Dedicated hardware threads per tenant (paper: 2).
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan` to
+            inject on this host's control loop (dcat managers only); give
+            each machine its own derived seed so schedules differ.
     """
 
     def __init__(
@@ -120,6 +123,7 @@ class FleetMachine:
         manager: CacheManager,
         bus: Optional[EventBus] = None,
         vcpus_per_vm: int = 2,
+        fault_plan=None,
     ) -> None:
         if vcpus_per_vm < 1:
             raise ValueError("vcpus_per_vm must be >= 1")
@@ -127,6 +131,18 @@ class FleetMachine:
         self.machine = machine
         self.vcpus_per_vm = vcpus_per_vm
         self.sim = CloudSimulation(machine, [], manager, bus=bus)
+        self.injector = None
+        if fault_plan is not None:
+            # Imported lazily: fault injection is opt-in per scenario.
+            from repro.faults.injectors import FaultInjector
+
+            controller = getattr(manager, "controller", None)
+            if controller is None:
+                raise ValueError(
+                    f"machine {name!r}: fault injection requires a dcat "
+                    f"manager (other regimes have no control loop to fault)"
+                )
+            self.injector = FaultInjector(fault_plan).install(controller)
         self.residents: Dict[str, ResidentTenant] = {}
         self.reserved_ways = 0
         self._free_threads: List[int] = list(range(machine.spec.num_threads))
@@ -202,6 +218,9 @@ class FleetResult:
     tenants: Dict[str, TenantSloStats] = field(default_factory=dict)
     placements: List[PlacementRecord] = field(default_factory=list)
     summary: Dict[str, float] = field(default_factory=dict)
+    #: Applied fault counts per machine, keyed by fault kind — empty
+    #: unless the fleet ran with per-machine fault plans.
+    faults: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def admitted(self) -> List[PlacementRecord]:
@@ -284,6 +303,11 @@ class CloudFleet:
             tenants=dict(self.accountant.tenants),
             placements=list(self.placements),
             summary=self.accountant.fleet_summary(),
+            faults={
+                m.name: m.injector.faults_by_kind()
+                for m in self.machines
+                if m.injector is not None
+            },
         )
 
     # -- interval stages -----------------------------------------------------

@@ -28,6 +28,12 @@ Example::
       }
     }
 
+An optional top-level ``"faults"`` section (a
+:class:`~repro.faults.plan.FaultPlan` spec) turns on fault injection for
+the whole fleet: each machine gets the same rules under a seed derived
+from the plan seed and the machine name, so schedules differ per host but
+the run stays deterministic.  Requires a ``dcat`` manager.
+
 Run from the CLI with ``dcat-experiment churn path/to/file.json``.  Every
 validation error names the offending field with its entry context (e.g.
 ``tenants[2].baseline_ways``) and exits with status 2, like plain scenario
@@ -266,6 +272,18 @@ def load_churn_scenario(
         dupes = sorted({n for n in names if names.count(n) > 1})
         raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
 
+    fleet_plan = None
+    if "faults" in data:
+        # Imported lazily: fault injection is opt-in per scenario.
+        from repro.faults.plan import FaultPlan, FaultPlanError
+
+        try:
+            fleet_plan = FaultPlan.from_spec(
+                _require_mapping(data["faults"], "faults")
+            )
+        except FaultPlanError as exc:
+            raise ChurnScenarioError(f"faults: {exc}") from None
+
     manager_spec = data.get("manager", {"type": "dcat"})
     from repro.harness.scenario_file import _SOCKETS as SOCKET_FACTORIES
 
@@ -281,14 +299,25 @@ def load_churn_scenario(
             manager = build_manager(_require_mapping(manager_spec, "manager"))
         except ScenarioError as exc:
             raise ChurnScenarioError(f"manager: {exc}") from None
-        machines.append(
-            FleetMachine(
+        machine_plan = None
+        if fleet_plan is not None:
+            from repro.faults.plan import FaultPlan
+
+            machine_plan = FaultPlan(
+                seed=derive_seed(fleet_plan.seed, name),
+                rules=fleet_plan.rules,
+            )
+        try:
+            fleet_machine = FleetMachine(
                 name=name,
                 machine=machine,
                 manager=manager,
                 vcpus_per_vm=vcpus_per_vm,
+                fault_plan=machine_plan,
             )
-        )
+        except ValueError as exc:
+            raise ChurnScenarioError(f"faults: {exc}") from None
+        machines.append(fleet_machine)
 
     fleet = CloudFleet(
         machines=machines,

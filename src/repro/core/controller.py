@@ -26,10 +26,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from types import MappingProxyType
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cat.layout import pack_contiguous
-from repro.cat.pqos import PqosL3Ca, PqosLibrary
+from repro.cat.pqos import PqosError, PqosL3Ca, PqosLibrary
 from repro.core.allocation import AllocationInput, plan_allocation
 from repro.core.classifier import Decision, categorize, _improvement
 from repro.core.config import DCatConfig
@@ -39,6 +40,7 @@ from repro.core.phase import PhaseDetector
 from repro.engine.events import (
     AllocationPlanned,
     EventBus,
+    FaultRecovered,
     IntervalFinished,
     IntervalStarted,
     MasksProgrammed,
@@ -50,6 +52,7 @@ from repro.engine.events import (
     WorkloadRegistered,
 )
 from repro.engine.pipeline import FunctionStage, StagedLoop
+from repro.hwcounters.msr import CounterReadError
 from repro.hwcounters.perfmon import CounterSample, PerfMonitor
 
 __all__ = ["WorkloadStatus", "StepResult", "ControlStepContext", "DCatController"]
@@ -90,6 +93,9 @@ class ControlStepContext:
     decisions: Dict[str, Decision] = field(default_factory=dict)
     reclaiming: Dict[str, bool] = field(default_factory=dict)
     plan: Dict[str, int] = field(default_factory=dict)
+    # Workloads whose sample this interval is a stale-fallback copy (their
+    # performance tables must not ingest it).  Empty on a healthy substrate.
+    stale: Dict[str, bool] = field(default_factory=dict)
 
 
 class DCatController:
@@ -180,8 +186,19 @@ class DCatController:
             detector=PhaseDetector(threshold=self.config.phase_change_thr),
         )
         self._records[workload_id] = record
-        for core in cores:
-            self.pqos.alloc_assoc_set(core, cos_id)
+        done: List[int] = []
+        try:
+            for core in cores:
+                self._assoc_set(core, cos_id)
+                done.append(core)
+        except PqosError:
+            # Roll back: cores already moved return to the unmanaged
+            # default, the COS goes back to the pool, nothing stays managed.
+            for prev in done:
+                self._assoc_set(prev, 0, best_effort=True)
+            del self._records[workload_id]
+            heapq.heappush(self._free_cos, cos_id)
+            raise
         if self.bus.active:
             self.bus.emit(
                 WorkloadRegistered.fast(
@@ -200,15 +217,41 @@ class DCatController:
         service returns to the free pool for reuse, its mask is reset to the
         full-LLC default, and the span it occupied is released to the free
         pool at the next packing round.
+
+        Deregistration always completes: when hardened, persistent pqos
+        write failures are retried and then absorbed (the stale mask is
+        reprogrammed before any reuse of the COS can matter), so a flaky
+        write path can never leave a departed workload half-managed.
         """
         record = self._records.pop(workload_id, None)
         if record is None:
             raise ValueError(f"workload {workload_id!r} is not registered")
         for core in record.cores:
-            self.pqos.alloc_assoc_set(core, 0)
-        self.pqos.l3ca_set(
-            [PqosL3Ca(cos_id=record.cos_id, ways_mask=(1 << self.total_ways) - 1)]
-        )
+            self._assoc_set(core, 0, best_effort=True)
+        reset = [
+            PqosL3Ca(cos_id=record.cos_id, ways_mask=(1 << self.total_ways) - 1)
+        ]
+        if self.config.hardened:
+            try:
+                self._pqos_retry(
+                    lambda: self.pqos.l3ca_set(reset),
+                    self.config.l3ca_max_retries,
+                )
+            except PqosError:
+                # The COS keeps its stale mask for now; reuse goes through
+                # _apply_plan, which programs it before the plan lands.
+                if self.bus.active:
+                    self.bus.emit(
+                        FaultRecovered.fast(
+                            time_s=self._time_s,
+                            kind="l3ca_set_fail",
+                            target=workload_id,
+                            action="deferred_reset",
+                            attempts=self.config.l3ca_max_retries + 1,
+                        )
+                    )
+        else:
+            self.pqos.l3ca_set(reset)
         heapq.heappush(self._free_cos, record.cos_id)
         self._masks.pop(workload_id, None)
         if self.bus.active:
@@ -235,6 +278,8 @@ class DCatController:
         Raises:
             ValueError: If the reservations cannot fit even after reclaiming
                 every surplus way (the registration is rolled back).
+            PqosError: If the hardware write path keeps failing beyond the
+                retry budget (the registration is likewise rolled back).
         """
         record = self.register_workload(workload_id, cores, baseline_ways)
         plan = {
@@ -265,15 +310,25 @@ class DCatController:
                 f"do not fit next to the incumbents' reservations"
             )
         plan[workload_id] = baseline_ways
-        self._apply_plan(plan)
+        try:
+            self._apply_plan(plan)
+        except PqosError:
+            self.deregister_workload(workload_id)
+            raise
         for wid, ways in plan.items():
             self._records[wid].ways = ways
         record.prev_ways = baseline_ways
         return record
 
     @property
-    def records(self) -> Dict[str, WorkloadRecord]:
-        return self._records
+    def records(self) -> Mapping[str, WorkloadRecord]:
+        """Read-only view of the managed workloads.
+
+        Registration state changes only through :meth:`register_workload`,
+        :meth:`deregister_workload` and :meth:`admit_workload`; handing out
+        the raw dict would let callers bypass the COS pool bookkeeping.
+        """
+        return MappingProxyType(self._records)
 
     def initialize(self) -> None:
         """Program every workload's reserved baseline (static-CAT start)."""
@@ -314,10 +369,20 @@ class DCatController:
     # -- stages (paper Fig. 4, one per step, plus commit) ----------------------
 
     def _stage_collect(self, ctx: ControlStepContext) -> None:
-        """Step 1 — sample every workload's cores and flag idleness."""
+        """Step 1 — sample every workload's cores and flag idleness.
+
+        When ``config.hardened``, sampling goes through bounded retries, a
+        plausibility gate and a stale-sample fallback
+        (:meth:`_sample_hardened`); on a healthy substrate that path issues
+        the exact same reads as the direct call.
+        """
         bus = self.bus
+        hardened = self.config.hardened
         for wid, rec in self._records.items():
-            sample = self.perfmon.sample_cores(rec.cores)
+            if hardened:
+                sample = self._sample_hardened(wid, rec, ctx)
+            else:
+                sample = self.perfmon.sample_cores(rec.cores)
             ctx.samples[wid] = sample
             # Idle detection: the cores barely ran this interval.
             busy_budget = self.nominal_cycles_per_core * len(rec.cores)
@@ -366,7 +431,7 @@ class DCatController:
                 ctx.decisions[wid], ctx.reclaiming[wid] = (
                     self._phase_change_decision(rec)
                 )
-            else:
+            elif not ctx.stale.get(wid):
                 sample = ctx.samples[wid]
                 self._record_performance(rec, sample)
                 self._update_unknown_bookkeeping(rec, sample)
@@ -374,6 +439,15 @@ class DCatController:
     def _stage_categorize(self, ctx: ControlStepContext) -> None:
         """Step 4 — run the Fig. 6 state machine for phase-stable workloads."""
         for wid, rec in self._records.items():
+            if rec.quarantined:
+                # Erratic counters: park the workload at its reserved
+                # baseline (overriding even a phase-change jump) until its
+                # samples become trustworthy again.
+                ctx.decisions[wid] = Decision(
+                    WorkloadState.RECLAIM, rec.baseline_ways
+                )
+                ctx.reclaiming[wid] = True
+                continue
             if ctx.changed[wid]:
                 continue  # decided in get_baseline
             sample = ctx.samples[wid]
@@ -520,7 +594,11 @@ class DCatController:
         for wid, mask in layout.masks.items():
             rec = self._records[wid]
             entries.append(PqosL3Ca(cos_id=rec.cos_id, ways_mask=mask))
-        self.pqos.l3ca_set(entries)
+        when = self._time_s if time_s is None else time_s
+        if self.config.hardened:
+            self._program_masks(entries, when)
+        else:
+            self.pqos.l3ca_set(entries)
         if self.config.flush_reassigned_ways and self.flush_callback is not None:
             for wid in layout.moved:
                 self.flush_callback(layout.masks[wid])
@@ -528,12 +606,215 @@ class DCatController:
         if self.bus.active:
             self.bus.emit(
                 MasksProgrammed.fast(
-                    time_s=self._time_s if time_s is None else time_s,
+                    time_s=when,
                     masks=dict(layout.masks),
                     moved=tuple(layout.moved),
                 )
             )
         return list(layout.moved)
+
+    # -- hardening (the repro.faults robustness layer) -------------------------
+
+    @staticmethod
+    def _pqos_retry(call: Callable[[], None], max_retries: int) -> int:
+        """Run a pqos write, retrying transient failures; returns attempts.
+
+        Raises:
+            PqosError: When the call still fails after ``max_retries``
+                additional attempts.
+        """
+        for attempt in range(1, max_retries + 2):
+            try:
+                call()
+                return attempt
+            except PqosError:
+                if attempt > max_retries:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _program_masks(self, entries: List[PqosL3Ca], time_s: float) -> None:
+        """Program COS masks with bounded retries and verify-after-write.
+
+        After the (atomic) batch write succeeds, the COS table is read back
+        via ``l3ca_get`` and any entry that did not land is reprogrammed —
+        the paper's daemon must never run an interval on masks it merely
+        believes it wrote.
+
+        Raises:
+            PqosError: If the write keeps failing beyond ``l3ca_max_retries``
+                or readback never converges to the requested table.
+        """
+        cfg = self.config
+        bus = self.bus
+        attempts = self._pqos_retry(
+            lambda: self.pqos.l3ca_set(entries), cfg.l3ca_max_retries
+        )
+        if attempts > 1 and bus.active:
+            bus.emit(
+                FaultRecovered.fast(
+                    time_s=time_s,
+                    kind="l3ca_set_fail",
+                    target="",
+                    action="retry",
+                    attempts=attempts,
+                )
+            )
+        if not cfg.verify_mask_writes:
+            return
+        wanted = {e.cos_id: e.ways_mask for e in entries}
+        for round_ in range(cfg.l3ca_max_retries + 1):
+            table = {e.cos_id: e.ways_mask for e in self.pqos.l3ca_get()}
+            stray = [
+                PqosL3Ca(cos_id=cos, ways_mask=mask)
+                for cos, mask in sorted(wanted.items())
+                if table.get(cos) != mask
+            ]
+            if not stray:
+                return
+            self._pqos_retry(
+                lambda: self.pqos.l3ca_set(stray), cfg.l3ca_max_retries
+            )
+            if bus.active:
+                bus.emit(
+                    FaultRecovered.fast(
+                        time_s=time_s,
+                        kind="l3ca_set_fail",
+                        target="",
+                        action="reprogram",
+                        attempts=round_ + 1,
+                    )
+                )
+        table = {e.cos_id: e.ways_mask for e in self.pqos.l3ca_get()}
+        if any(table.get(cos) != mask for cos, mask in wanted.items()):
+            raise PqosError("COS mask readback never matched the plan")
+
+    def _assoc_set(
+        self, core: int, cos_id: int, *, best_effort: bool = False
+    ) -> bool:
+        """Associate a core with a COS, verifying the write took effect.
+
+        A dropped association (the write silently not landing) is detected
+        by readback and re-issued up to ``l3ca_max_retries`` times.  Returns
+        True once the association is in place; with ``best_effort`` a
+        persistent failure returns False instead of raising.
+        """
+        if not self.config.hardened:
+            self.pqos.alloc_assoc_set(core, cos_id)
+            return True
+        for attempt in range(1, self.config.l3ca_max_retries + 2):
+            try:
+                self.pqos.alloc_assoc_set(core, cos_id)
+            except PqosError:
+                continue
+            if self.pqos.alloc_assoc_get(core) == cos_id:
+                if attempt > 1 and self.bus.active:
+                    self.bus.emit(
+                        FaultRecovered.fast(
+                            time_s=self._time_s,
+                            kind="assoc_drop",
+                            target=f"core:{core}",
+                            action="assoc_rewrite",
+                            attempts=attempt,
+                        )
+                    )
+                return True
+        if best_effort:
+            return False
+        raise PqosError(
+            f"core {core} association with COS {cos_id} did not take effect"
+        )
+
+    def _plausible(self, rec: WorkloadRecord, sample: CounterSample) -> bool:
+        """Physical sanity gate: IPC and per-interval cycle-budget bounds."""
+        if sample.ipc > self.config.max_plausible_ipc:
+            return False
+        budget = self.nominal_cycles_per_core * len(rec.cores)
+        return sample.cycles <= self.config.max_plausible_cycles_slack * budget
+
+    def _sample_hardened(
+        self, wid: str, rec: WorkloadRecord, ctx: ControlStepContext
+    ) -> CounterSample:
+        """Sample with bounded retries, a plausibility gate, stale fallback.
+
+        A transient :class:`CounterReadError` is retried up to
+        ``sampler_max_retries`` extra times (the fault raises before the
+        counters are consumed, so a retry still sees the full interval
+        delta).  A read that keeps failing — or that returns physically
+        impossible values — is replaced by the previous interval's sample
+        (an idle zero sample if there is none) and counts toward the
+        quarantine streak; the first clean sample clears the streak and
+        releases any quarantine.
+        """
+        cfg = self.config
+        bus = self.bus
+        time_s = ctx.time_s
+        sample: Optional[CounterSample] = None
+        kind = ""
+        attempts = 0
+        for attempts in range(1, cfg.sampler_max_retries + 2):
+            try:
+                candidate = self.perfmon.sample_cores(rec.cores)
+            except CounterReadError:
+                kind = "counter_read_error"
+                continue
+            if self._plausible(rec, candidate):
+                sample = candidate
+            else:
+                # The interval's deltas are already consumed; retrying
+                # would read near-zero noise, so fall back immediately.
+                kind = "implausible_sample"
+            break
+        if sample is not None:
+            if attempts > 1 and bus.active:
+                bus.emit(
+                    FaultRecovered.fast(
+                        time_s=time_s,
+                        kind=kind,
+                        target=wid,
+                        action="retry",
+                        attempts=attempts,
+                    )
+                )
+            if rec.erratic_streak:
+                rec.erratic_streak = 0
+                if rec.quarantined:
+                    rec.quarantined = False
+                    if bus.active:
+                        bus.emit(
+                            FaultRecovered.fast(
+                                time_s=time_s,
+                                kind="erratic_counters",
+                                target=wid,
+                                action="quarantine_release",
+                                attempts=attempts,
+                            )
+                        )
+            return sample
+        ctx.stale[wid] = True
+        rec.erratic_streak += 1
+        if bus.active:
+            bus.emit(
+                FaultRecovered.fast(
+                    time_s=time_s,
+                    kind=kind,
+                    target=wid,
+                    action="stale_sample",
+                    attempts=attempts,
+                )
+            )
+        if not rec.quarantined and rec.erratic_streak >= cfg.quarantine_after:
+            rec.quarantined = True
+            if bus.active:
+                bus.emit(
+                    FaultRecovered.fast(
+                        time_s=time_s,
+                        kind="erratic_counters",
+                        target=wid,
+                        action="quarantine",
+                        attempts=rec.erratic_streak,
+                    )
+                )
+        return rec.last_sample if rec.last_sample is not None else CounterSample()
 
     # -- introspection ------------------------------------------------------------
 

@@ -48,6 +48,11 @@ class WorkloadRecord:
             high miss rate re-enters Unknown only below this ceiling, which
             prevents grow/stop oscillation when gains are sub-threshold.
         idle: Whether the workload was idle last interval.
+        erratic_streak: Consecutive intervals whose sample had to be
+            discarded (counter read failure or implausible values); feeds
+            the quarantine threshold and resets on the first clean sample.
+        quarantined: Whether the hardened controller has parked this
+            workload at its reserved baseline until its counters recover.
     """
 
     workload_id: str
@@ -67,6 +72,8 @@ class WorkloadRecord:
     growth_ceiling_ways: int = 0
     growth_ceiling_miss_rate: float = 0.0
     idle: bool = False
+    erratic_streak: int = 0
+    quarantined: bool = False
 
     def __post_init__(self) -> None:
         if self.baseline_ways < 1:

@@ -48,6 +48,9 @@ __all__ = [
     "TenantDeparted",
     "AllocationPlanned",
     "MasksProgrammed",
+    "FaultInjected",
+    "FaultRecovered",
+    "InvariantViolated",
     "IntervalFinished",
     "EventBus",
     "NullBus",
@@ -191,6 +194,50 @@ class MasksProgrammed(Event):
 
     masks: Mapping[str, int]
     moved: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """A fault-injection proxy perturbed the substrate (``repro.faults``).
+
+    ``kind`` is a :class:`~repro.faults.plan.FaultKind` value; ``target`` is
+    the workload it hit, or ``""`` for backend-wide faults (pqos writes).
+    """
+
+    kind: str
+    target: str
+    detail: str
+
+
+@dataclass(frozen=True)
+class FaultRecovered(Event):
+    """The hardened controller absorbed a fault.
+
+    ``action`` says how: ``retry`` (a retried call succeeded),
+    ``stale_sample`` (last interval's counters substituted), ``reprogram``
+    (verify-after-write rewrote a mask), ``assoc_rewrite`` (a dropped core
+    association was re-issued), ``deferred_reset`` (a deregistration mask
+    reset was skipped after exhausting retries), ``quarantine`` /
+    ``quarantine_release`` (an erratic workload parked at / released from
+    its baseline).  ``attempts`` counts the calls or intervals consumed.
+    """
+
+    kind: str
+    target: str
+    action: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class InvariantViolated(Event):
+    """The online checker caught a broken allocation invariant.
+
+    Never emitted in a healthy run: the chaos harness treats any occurrence
+    as a failed guarantee (see ``repro.faults.invariants``).
+    """
+
+    invariant: str
+    detail: str
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,49 @@
+"""Deterministic fault injection and robustness checking (``repro.faults``).
+
+The paper's dCat is a long-running daemon whose value proposition is a
+*guarantee* — no workload drops below its reserved-baseline performance —
+but a guarantee is only worth what it survives.  This package perturbs the
+substrate the controller runs on and checks that the guarantee holds:
+
+* :mod:`repro.faults.plan` — a seeded, declarative :class:`FaultPlan`
+  (programmatic or JSON) scheduling per-interval faults: counter read
+  errors, multiplicative counter noise, saturated/zeroed samples,
+  transient ``l3ca_set`` failures, dropped core associations, and workload
+  crash/hang.
+* :mod:`repro.faults.injectors` — :class:`FaultyPerfMonitor` and
+  :class:`FaultyPqosLibrary` proxies wrapping the exact backend shapes the
+  controller already depends on, armed each interval by a
+  :class:`FaultInjector` stage spliced into the controller's staged loop.
+* :mod:`repro.faults.invariants` — an online :class:`InvariantChecker`
+  subscribed to the event bus, asserting the allocation invariants every
+  interval and emitting ``InvariantViolated`` events when they break.
+* :mod:`repro.faults.chaos` — :func:`run_chaos` ties it together and
+  reports guarantee retention under fault load (the ``chaos`` CLI
+  subcommand and the ``chaos_*`` experiments build on it).
+
+Everything is deterministic in the plan seed: fault scheduling derives a
+per-(rule, interval) RNG, so the same plan on the same scenario produces a
+byte-identical trace and report.
+"""
+
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.injectors import (
+    FaultInjector,
+    FaultyPerfMonitor,
+    FaultyPqosLibrary,
+)
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultKind, FaultPlan, FaultPlanError, FaultRule
+
+__all__ = [
+    "ChaosReport",
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultRule",
+    "FaultyPerfMonitor",
+    "FaultyPqosLibrary",
+    "InvariantChecker",
+    "run_chaos",
+]

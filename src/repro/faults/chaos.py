@@ -1,0 +1,310 @@
+"""Chaos runs: a scenario + a fault plan -> a guarantee-retention report.
+
+A chaos scenario file is a plain scenario file (see
+:mod:`repro.harness.scenario_file`) with up to three extra sections::
+
+    {
+      "machine": {"socket": "xeon_e5", "seed": 7},
+      "manager": {"type": "dcat"},
+      "duration_s": 60,
+      "vms": [ ... ],
+      "faults": {"seed": 7, "rules": [ ... ]},
+      "restarts": [{"vm": "redis", "detach_interval": 20,
+                    "attach_interval": 24}],
+      "patience": 5
+    }
+
+``faults`` is a :class:`~repro.faults.plan.FaultPlan` spec.  ``restarts``
+detaches a VM from management at one interval boundary and re-admits it at
+a later one — the daemon's view of a tenant dying and coming back — which
+exercises the deregister/admit write paths while pqos faults are armed.
+``patience`` tunes the invariant checker's starvation window.
+
+:func:`run_chaos` wires a live event bus, installs the
+:class:`~repro.faults.injectors.FaultInjector` and
+:class:`~repro.faults.invariants.InvariantChecker`, steps the simulation,
+and distills a :class:`ChaosReport`.  Everything downstream of the seeds is
+deterministic, so the same scenario produces a byte-identical report (and
+JSONL trace) on every run.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.engine.events import EventBus, FaultRecovered, JsonlTraceWriter
+from repro.faults.injectors import FaultInjector
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import FaultPlan
+
+__all__ = ["ChaosReport", "run_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosReport:
+    """What a chaos run proved (or failed to prove).
+
+    Attributes:
+        intervals: Control intervals the checker audited.
+        faulted_intervals: Intervals in which at least one fault landed.
+        faults_by_kind: Applied fault counts per kind.
+        recoveries_by_action: ``FaultRecovered`` counts per hardening
+            action (retry, stale_sample, reprogram, ...).
+        invariant_violations: Total ``InvariantViolated`` events (zero is
+            the pass criterion).
+        violation_details: One line per violation, in order.
+        guarantee_retention: Fraction of faulted intervals in which every
+            workload's baseline guarantee held (1.0 when nothing faulted).
+        recovery_latency_mean: Mean length, in intervals, of the episodes
+            in which some workload sat starved below its baseline.
+        recovery_latency_max: Longest such episode.
+        crashed: ``None`` if the run completed; otherwise the exception
+            that killed the control loop (the unhardened ablation's
+            typical fate under read errors).
+        hardened: Whether the controller's robustness layer was on.
+        plan_seed: The fault plan's seed (for reproducing the run).
+    """
+
+    intervals: int
+    faulted_intervals: int
+    faults_by_kind: Dict[str, int]
+    recoveries_by_action: Dict[str, int]
+    invariant_violations: int
+    violation_details: Tuple[str, ...]
+    guarantee_retention: float
+    recovery_latency_mean: float
+    recovery_latency_max: int
+    crashed: Optional[str]
+    hardened: bool
+    plan_seed: int
+
+    @property
+    def fault_fraction(self) -> float:
+        if not self.intervals:
+            return 0.0
+        return self.faulted_intervals / self.intervals
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict (keys sorted on dump for byte stability)."""
+        return {
+            "intervals": self.intervals,
+            "faulted_intervals": self.faulted_intervals,
+            "fault_fraction": self.fault_fraction,
+            "faults_by_kind": dict(sorted(self.faults_by_kind.items())),
+            "recoveries_by_action": dict(
+                sorted(self.recoveries_by_action.items())
+            ),
+            "invariant_violations": self.invariant_violations,
+            "violation_details": list(self.violation_details),
+            "guarantee_retention": self.guarantee_retention,
+            "recovery_latency_mean": self.recovery_latency_mean,
+            "recovery_latency_max": self.recovery_latency_max,
+            "crashed": self.crashed,
+            "hardened": self.hardened,
+            "plan_seed": self.plan_seed,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, indent=2)
+
+    def render(self) -> str:
+        """Deterministic human-readable summary (the CLI's output)."""
+        kinds = " ".join(
+            f"{k}={v}" for k, v in sorted(self.faults_by_kind.items())
+        )
+        actions = " ".join(
+            f"{k}={v}" for k, v in sorted(self.recoveries_by_action.items())
+        )
+        lines = [
+            f"chaos report (plan seed {self.plan_seed}, "
+            f"{'hardened' if self.hardened else 'unhardened'} controller)",
+            f"  intervals audited:    {self.intervals}",
+            f"  faulted intervals:    {self.faulted_intervals} "
+            f"({self.fault_fraction:.1%})",
+            f"  faults by kind:       {kinds or '-'}",
+            f"  recoveries by action: {actions or '-'}",
+            f"  invariant violations: {self.invariant_violations}",
+            f"  guarantee retention:  {self.guarantee_retention:.4f}",
+            f"  recovery latency:     mean {self.recovery_latency_mean:.2f}, "
+            f"max {self.recovery_latency_max} interval(s)",
+            f"  crashed:              {self.crashed or '-'}",
+        ]
+        for detail in self.violation_details:
+            lines.append(f"  violation: {detail}")
+        return "\n".join(lines)
+
+    @property
+    def passed(self) -> bool:
+        """Zero violations and the control loop survived."""
+        return self.invariant_violations == 0 and self.crashed is None
+
+
+@dataclass(frozen=True)
+class _Restart:
+    vm: str
+    detach_interval: int
+    attach_interval: int
+
+
+def _parse_restarts(spec: Any, vm_names: List[str]) -> List[_Restart]:
+    # Local import: harness pulls in the whole experiment registry; keep
+    # repro.faults importable without it until a chaos run actually starts.
+    from repro.harness.scenario_file import ScenarioError
+
+    if spec is None:
+        return []
+    if not isinstance(spec, list):
+        raise ScenarioError("restarts: expected a list of restart objects")
+    restarts: List[_Restart] = []
+    for i, entry in enumerate(spec):
+        where = f"restarts[{i}]"
+        if not isinstance(entry, dict):
+            raise ScenarioError(f"{where}: expected an object")
+        unknown = set(entry) - {"vm", "detach_interval", "attach_interval"}
+        if unknown:
+            raise ScenarioError(f"{where}: unknown keys {sorted(unknown)}")
+        vm = entry.get("vm")
+        if vm not in vm_names:
+            raise ScenarioError(
+                f"{where}.vm: {vm!r} is not one of the scenario's VMs "
+                f"{sorted(vm_names)}"
+            )
+        try:
+            detach = int(entry["detach_interval"])
+            attach = int(entry["attach_interval"])
+        except (KeyError, TypeError, ValueError):
+            raise ScenarioError(
+                f"{where}: needs integer detach_interval and attach_interval"
+            ) from None
+        if detach < 1 or attach <= detach:
+            raise ScenarioError(
+                f"{where}: need 1 <= detach_interval < attach_interval"
+            )
+        restarts.append(_Restart(vm, detach, attach))
+    return restarts
+
+
+def _load_chaos_spec(
+    source: Union[str, Path, Dict[str, Any]]
+) -> Dict[str, Any]:
+    from repro.harness.scenario_file import ScenarioError
+
+    if isinstance(source, dict):
+        return dict(source)
+    path = Path(source)
+    try:
+        is_file = path.exists()
+    except OSError:
+        is_file = False
+    if is_file:
+        return dict(json.loads(path.read_text()))
+    try:
+        return dict(json.loads(str(source)))
+    except (json.JSONDecodeError, TypeError):
+        raise ScenarioError(
+            f"chaos scenario {source!r} is neither a file nor valid JSON"
+        ) from None
+
+
+_CHAOS_KEYS = {"faults", "restarts", "patience"}
+
+
+def run_chaos(
+    source: Union[str, Path, Dict[str, Any]],
+    trace: Optional[str] = None,
+) -> ChaosReport:
+    """Run a chaos scenario end to end and report guarantee retention.
+
+    Args:
+        source: Scenario dict, JSON string, or file path (plain scenario
+            fields plus ``faults`` / ``restarts`` / ``patience``).
+        trace: Optional path for a JSONL event trace of the run (includes
+            the ``FaultInjected`` / ``FaultRecovered`` /
+            ``InvariantViolated`` stream).
+
+    Raises:
+        ScenarioError: On malformed scenario fields.
+        FaultPlanError: On a malformed ``faults`` section.
+    """
+    from repro.cat.pqos import PqosError
+    from repro.harness.scenario_file import ScenarioError, load_scenario
+    from repro.hwcounters.msr import CounterReadError
+    from repro.platform.managers import DCatManager
+    from repro.platform.sim import CloudSimulation
+    from repro.platform.vm import VirtualMachine
+
+    data = _load_chaos_spec(source)
+    plan = FaultPlan.from_spec(data.get("faults", {"seed": 0}))
+    patience = int(data.get("patience", 5))
+    scenario = {k: v for k, v in data.items() if k not in _CHAOS_KEYS}
+    if scenario.get("exact"):
+        raise ScenarioError("chaos scenarios do not support exact mode")
+    machine, vms, manager, duration_s, _ = load_scenario(scenario)
+    if not isinstance(manager, DCatManager):
+        raise ScenarioError(
+            "chaos runs need a dcat manager (faults target its control loop)"
+        )
+    restarts = _parse_restarts(
+        data.get("restarts"), [vm.name for vm in vms]
+    )
+
+    bus = EventBus()
+    recoveries: Dict[str, int] = {}
+
+    def _count_recovery(event: Any) -> None:
+        recoveries[event.action] = recoveries.get(event.action, 0) + 1
+
+    bus.subscribe(_count_recovery, FaultRecovered)
+    writer = JsonlTraceWriter(trace) if trace else None
+    if writer is not None:
+        bus.subscribe(writer)
+    try:
+        sim = CloudSimulation(machine, vms, manager, bus=bus)
+        controller = manager.controller
+        assert controller is not None
+        injector = FaultInjector(plan).install(controller)
+        checker = InvariantChecker(
+            total_ways=controller.total_ways,
+            config=controller.config,
+            bus=bus,
+            patience=patience,
+        )
+        steps = int(round(duration_s / machine.interval_s))
+        parked: Dict[str, VirtualMachine] = {}
+        crashed: Optional[str] = None
+        try:
+            for k in range(steps):
+                for restart in restarts:
+                    if restart.detach_interval == k:
+                        parked[restart.vm] = sim.detach_vm(restart.vm)
+                    if restart.attach_interval == k and restart.vm in parked:
+                        sim.attach_vm(parked.pop(restart.vm))
+                sim.step()
+        except (PqosError, CounterReadError) as exc:
+            crashed = f"{type(exc).__name__}: {exc}"
+        checker.finalize()
+    finally:
+        if writer is not None:
+            writer.close()
+
+    gaps = checker.guarantee_gaps
+    return ChaosReport(
+        intervals=checker.intervals_checked,
+        faulted_intervals=injector.faulted_intervals,
+        faults_by_kind=injector.faults_by_kind(),
+        recoveries_by_action=dict(sorted(recoveries.items())),
+        invariant_violations=len(checker.violations),
+        violation_details=tuple(
+            f"[t={v.time_s:g}] {v.invariant}: {v.detail}"
+            for v in checker.violations
+        ),
+        guarantee_retention=checker.guarantee_retention,
+        recovery_latency_mean=(sum(gaps) / len(gaps)) if gaps else 0.0,
+        recovery_latency_max=max(gaps) if gaps else 0,
+        crashed=crashed,
+        hardened=controller.config.hardened,
+        plan_seed=plan.seed,
+    )

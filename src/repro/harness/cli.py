@@ -9,6 +9,7 @@ Usage::
     dcat-experiment run fig10 --trace fig10.jsonl
     dcat-experiment scenario my_tenants.json [--vm redis]
     dcat-experiment churn my_churn.json
+    dcat-experiment chaos examples/chaos.json [--trace chaos.jsonl] [--json]
 """
 
 from __future__ import annotations
@@ -63,6 +64,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a JSON churn scenario over a machine fleet (see repro.cloud.scenario)",
     )
     churn.add_argument("path", help="path to the churn-scenario JSON")
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a fault-injection scenario and report guarantee retention "
+        "(see repro.faults.chaos); exits 1 if any invariant broke",
+    )
+    chaos.add_argument("path", help="path to the chaos-scenario JSON")
+    chaos.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace including fault/invariant events",
+    )
+    chaos.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report as JSON instead of text",
+    )
     return parser
 
 
@@ -72,6 +90,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scenario(args)
     if args.command == "churn":
         return _run_churn(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -126,6 +146,23 @@ def _run_scenario(args) -> int:
     return 0
 
 
+def _run_chaos(args) -> int:
+    from repro.faults.chaos import run_chaos
+    from repro.faults.plan import FaultPlanError
+    from repro.harness.scenario_file import ScenarioError
+
+    try:
+        report = run_chaos(args.path, trace=args.trace)
+    except (ScenarioError, FaultPlanError) as exc:
+        print(f"chaos scenario error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot write trace: {exc}", file=sys.stderr)
+        return 2
+    print(report.to_json() if args.json else report.render())
+    return 0 if report.passed else 1
+
+
 def _run_churn(args) -> int:
     from repro.harness.scenario_file import ScenarioError
 
@@ -160,6 +197,14 @@ def _run_churn(args) -> int:
     print("== fleet ==")
     for key, value in result.summary.items():
         print(f"{key:<22} {value:.3f}")
+    if result.faults:
+        print()
+        print("== injected faults ==")
+        for machine_name in sorted(result.faults):
+            kinds = " ".join(
+                f"{k}={v}" for k, v in result.faults[machine_name].items()
+            )
+            print(f"{machine_name:<8} {kinds or '-'}")
     return 0
 
 

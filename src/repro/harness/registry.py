@@ -17,6 +17,10 @@ from repro.harness.experiments.apps import (
     run_tab5_multi,
     run_tab6,
 )
+from repro.harness.experiments.chaos import (
+    run_chaos_guarantee,
+    run_chaos_hardening_ablation,
+)
 from repro.harness.experiments.cloud import (
     run_cloud_churn_poisson,
     run_cloud_churn_scripted,
@@ -63,6 +67,8 @@ EXPERIMENTS: Dict[str, Runner] = {
     "tab6": run_tab6,
     "cloud_churn_poisson": run_cloud_churn_poisson,
     "cloud_churn_scripted": run_cloud_churn_scripted,
+    "chaos_guarantee": run_chaos_guarantee,
+    "chaos_hardening_ablation": run_chaos_hardening_ablation,
     "ablation_perftable": run_ablation_perftable,
     "ablation_priority": run_ablation_priority,
     "ablation_policy": run_ablation_policy,

@@ -21,6 +21,7 @@ from repro.hwcounters.events import (
 )
 
 __all__ = [
+    "CounterReadError",
     "IA32_PMC0",
     "IA32_PERFEVTSEL0",
     "IA32_FIXED_CTR0",
@@ -43,6 +44,15 @@ NUM_PROGRAMMABLE_COUNTERS = 4
 NUM_FIXED_COUNTERS = 3
 COUNTER_WIDTH_BITS = 48
 _COUNTER_MASK = (1 << COUNTER_WIDTH_BITS) - 1
+
+
+class CounterReadError(OSError):
+    """A counter read failed transiently (the EIO a flaky msr driver returns).
+
+    The in-memory PMU never raises this on its own; it is the canonical
+    sampler-failure type that :mod:`repro.faults` injects and the hardened
+    controller's bounded retry path catches.
+    """
 
 
 class MsrFile:

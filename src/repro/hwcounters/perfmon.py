@@ -82,11 +82,26 @@ class CounterSample:
 
     @staticmethod
     def aggregate(samples: Iterable["CounterSample"]) -> "CounterSample":
-        """Sum counters over a workload's cores (paper: averaged metrics)."""
-        total = CounterSample()
+        """Sum counters over a workload's cores (paper: averaged metrics).
+
+        Sums in plain locals and constructs one sample at the end: this runs
+        every interval for every workload, and building an intermediate
+        frozen dataclass per core would dominate the sampling cost.
+        """
+        l1_ref = llc_ref = llc_miss = ret_ins = cycles = 0
         for s in samples:
-            total = total + s
-        return total
+            l1_ref += s.l1_ref
+            llc_ref += s.llc_ref
+            llc_miss += s.llc_miss
+            ret_ins += s.ret_ins
+            cycles += s.cycles
+        return CounterSample(
+            l1_ref=l1_ref,
+            llc_ref=llc_ref,
+            llc_miss=llc_miss,
+            ret_ins=ret_ins,
+            cycles=cycles,
+        )
 
 
 # PMC slot assignment used by the monitor (any injective assignment works).

@@ -538,3 +538,45 @@ class TestChurnCli:
         assert cli.main(["churn", str(path)]) == 2
         err = capsys.readouterr().err
         assert "tenants[0].workload.type" in err
+
+
+class TestChurnFaultInjection:
+    def faulted(self, manager=None):
+        scenario = dict(SCENARIO)
+        if manager is not None:
+            scenario["manager"] = manager
+        scenario["faults"] = {
+            "seed": 11,
+            "rules": [
+                {"kind": "counter_read_error", "probability": 0.2},
+                {"kind": "l3ca_set_fail", "probability": 0.2},
+            ],
+        }
+        return scenario
+
+    def test_per_machine_plans_applied_and_deterministic(self):
+        a = run_churn_scenario(self.faulted())
+        b = run_churn_scenario(self.faulted())
+        assert set(a.faults) == {"m0", "m1"}
+        assert any(a.faults.values())  # something actually fired
+        assert a.faults == b.faults
+        assert a.summary == b.summary
+        # per-machine derived seeds give the hosts independent schedules
+        fleet, _ = load_churn_scenario(self.faulted())
+        seeds = [m.injector.plan.seed for m in fleet.machines]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_no_faults_section_means_empty_faults(self):
+        result = run_churn_scenario(SCENARIO)
+        assert result.faults == {}
+
+    def test_bad_plan_names_field(self):
+        scenario = self.faulted()
+        scenario["faults"]["rules"][0]["kind"] = "nope"
+        with pytest.raises(ChurnScenarioError, match=r"faults: rules\[0\]\.kind"):
+            load_churn_scenario(scenario)
+
+    def test_non_dcat_manager_rejected(self):
+        scenario = self.faulted(manager={"type": "shared"})
+        with pytest.raises(ChurnScenarioError, match="dcat manager"):
+            load_churn_scenario(scenario)

@@ -1,0 +1,324 @@
+"""Tests for repro.faults: plans, injection proxies, and chaos runs."""
+
+import json
+
+import pytest
+
+from repro.cat.cat import CacheAllocationTechnology
+from repro.cat.pqos import PqosError, PqosL3Ca, PqosLibrary
+from repro.faults.chaos import ChaosReport, run_chaos
+from repro.faults.injectors import (
+    FaultInjector,
+    FaultyPerfMonitor,
+    FaultyPqosLibrary,
+    _ArmedCounterFault,
+)
+from repro.faults.plan import FaultKind, FaultPlan, FaultPlanError, FaultRule
+from repro.harness.scenario_file import ScenarioError
+from repro.hwcounters.events import (
+    L1_CACHE_HITS,
+    L1_CACHE_MISSES,
+    LLC_MISSES,
+    LLC_REFERENCES,
+)
+from repro.hwcounters.msr import COUNTER_WIDTH_BITS, CorePmu, CounterReadError
+from repro.hwcounters.perfmon import PerfMonitor
+
+
+class TestFaultPlan:
+    def test_null_plan_never_fires(self):
+        plan = FaultPlan(seed=1, rules=())
+        assert all(not plan.active(k) for k in range(50))
+
+    def test_window_bounds_inclusive(self):
+        rule = FaultRule(
+            kind=FaultKind.L3CA_SET_FAIL, start_interval=3, end_interval=5
+        )
+        plan = FaultPlan(seed=0, rules=(rule,))
+        fired = [k for k in range(10) if plan.active(k)]
+        assert fired == [3, 4, 5]
+
+    def test_probability_is_deterministic_and_order_independent(self):
+        rules = (
+            FaultRule(kind=FaultKind.COUNTER_NOISE, probability=0.3),
+            FaultRule(kind=FaultKind.SAMPLE_ZEROED, probability=0.3),
+        )
+        plan = FaultPlan(seed=99, rules=rules)
+        schedule = [tuple(r.kind for r in plan.active(k)) for k in range(200)]
+        # identical on re-evaluation, and evaluating intervals backwards
+        # does not change any per-interval outcome
+        assert schedule == [
+            tuple(r.kind for r in plan.active(k)) for k in range(200)
+        ]
+        backwards = {
+            k: tuple(r.kind for r in plan.active(k))
+            for k in reversed(range(200))
+        }
+        assert all(backwards[k] == schedule[k] for k in range(200))
+        fired = sum(1 for kinds in schedule if kinds)
+        assert 0 < fired < 200  # the probability actually thins the schedule
+
+    def test_different_seeds_differ(self):
+        rule = FaultRule(kind=FaultKind.COUNTER_NOISE, probability=0.3)
+        a = FaultPlan(seed=1, rules=(rule,))
+        b = FaultPlan(seed=2, rules=(rule,))
+        assert [bool(a.active(k)) for k in range(100)] != [
+            bool(b.active(k)) for k in range(100)
+        ]
+
+    def test_rule_validation(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultRule(kind=FaultKind.COUNTER_NOISE, probability=0.0)
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultRule(kind=FaultKind.COUNTER_NOISE, probability=1.5)
+        with pytest.raises(FaultPlanError, match="start_interval"):
+            FaultRule(kind=FaultKind.COUNTER_NOISE, start_interval=-1)
+        with pytest.raises(FaultPlanError, match="end_interval"):
+            FaultRule(
+                kind=FaultKind.COUNTER_NOISE, start_interval=5, end_interval=4
+            )
+        with pytest.raises(FaultPlanError, match="magnitude"):
+            FaultRule(kind=FaultKind.COUNTER_NOISE, magnitude=0)
+        with pytest.raises(FaultPlanError, match="budget"):
+            FaultRule(kind=FaultKind.COUNTER_NOISE, budget=0)
+
+    def test_from_spec_round_trip(self):
+        spec = {
+            "seed": 7,
+            "rules": [
+                {"kind": "counter_read_error", "target": "a", "budget": 2},
+                {"kind": "l3ca_set_fail", "probability": 0.5},
+            ],
+        }
+        plan = FaultPlan.from_spec(spec)
+        assert plan.seed == 7
+        assert plan.rules[0].kind is FaultKind.COUNTER_READ_ERROR
+        assert plan.rules[0].target == "a"
+        assert plan.rules[0].budget == 2
+        assert plan.rules[1].probability == 0.5
+
+    def test_from_spec_names_bad_fields(self):
+        with pytest.raises(FaultPlanError, match=r"rules\[0\].kind"):
+            FaultPlan.from_spec({"rules": [{"kind": "nope"}]})
+        with pytest.raises(FaultPlanError, match=r"rules\[1\]: unknown keys"):
+            FaultPlan.from_spec(
+                {"rules": [{"kind": "assoc_drop"}, {"kind": "assoc_drop", "x": 1}]}
+            )
+        with pytest.raises(FaultPlanError, match="unknown fault-plan keys"):
+            FaultPlan.from_spec({"seed": 1, "extra": True})
+        with pytest.raises(FaultPlanError, match="seed"):
+            FaultPlan.from_spec({"seed": "lots"})
+
+    def test_load_json_string_and_dict(self):
+        spec = {"seed": 3, "rules": [{"kind": "sample_zeroed"}]}
+        assert FaultPlan.load(spec) == FaultPlan.load(json.dumps(spec))
+        with pytest.raises(FaultPlanError, match="neither a file"):
+            FaultPlan.load("no/such/file.json")
+
+
+def _monitor(num_cores=4):
+    pmus = {c: CorePmu() for c in range(num_cores)}
+    return pmus, FaultyPerfMonitor(PerfMonitor(pmus))
+
+
+def _feed(pmu, instructions=1000, cycles=2000, llc_ref=100, llc_miss=50):
+    pmu.advance(
+        instructions,
+        cycles,
+        {
+            L1_CACHE_HITS: 150,
+            L1_CACHE_MISSES: llc_ref,
+            LLC_REFERENCES: llc_ref,
+            LLC_MISSES: llc_miss,
+        },
+    )
+
+
+def _armed(kind, cores, magnitude=2.0, budget=1):
+    return _ArmedCounterFault(
+        kind=kind, cores=frozenset(cores), magnitude=magnitude, budget=budget
+    )
+
+
+class TestFaultyPerfMonitor:
+    def test_passthrough_when_disarmed(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        sample = mon.sample_cores([0])
+        assert (sample.ret_ins, sample.cycles) == (1000, 2000)
+        assert sample.llc_miss == 50
+
+    def test_read_error_preserves_the_interval_delta(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        mon.arm([_armed(FaultKind.COUNTER_READ_ERROR, [0], budget=1)])
+        with pytest.raises(CounterReadError):
+            mon.sample_cores([0])
+        # the budget is spent and the inner monitor was never touched, so
+        # the retry observes the full interval
+        sample = mon.sample_cores([0])
+        assert (sample.ret_ins, sample.cycles) == (1000, 2000)
+
+    def test_read_error_misses_other_cores(self):
+        pmus, mon = _monitor()
+        _feed(pmus[2])
+        mon.arm([_armed(FaultKind.COUNTER_READ_ERROR, [0, 1])])
+        assert mon.sample_cores([2]).ret_ins == 1000
+
+    def test_noise_scales_cache_events_only(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        mon.arm([_armed(FaultKind.COUNTER_NOISE, [0], magnitude=3.0)])
+        sample = mon.sample_cores([0])
+        assert sample.llc_miss == 150 and sample.llc_ref == 300
+        assert (sample.ret_ins, sample.cycles) == (1000, 2000)  # IPC intact
+
+    def test_saturated_pegs_every_counter(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        mon.arm([_armed(FaultKind.SAMPLE_SATURATED, [0])])
+        sample = mon.sample_cores([0])
+        assert sample.cycles == (1 << COUNTER_WIDTH_BITS) - 1
+        assert sample.ret_ins == sample.cycles
+
+    def test_crash_reads_all_zero(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        mon.arm([_armed(FaultKind.WORKLOAD_CRASH, [0])])
+        sample = mon.sample_cores([0])
+        assert sample.cycles == 0 and sample.ret_ins == 0
+
+    def test_hang_keeps_cycles_only(self):
+        pmus, mon = _monitor()
+        _feed(pmus[0])
+        mon.arm([_armed(FaultKind.WORKLOAD_HANG, [0])])
+        sample = mon.sample_cores([0])
+        assert sample.cycles == 2000
+        assert sample.ret_ins == 0 and sample.llc_ref == 0
+
+
+class TestFaultyPqosLibrary:
+    def make(self):
+        cat = CacheAllocationTechnology(num_ways=20, num_cores=8)
+        return cat, FaultyPqosLibrary(PqosLibrary(cat, way_size_bytes=2359296))
+
+    def test_l3ca_failure_budget(self):
+        cat, pqos = self.make()
+        pqos.arm(l3ca_failures=1, assoc_drops=0)
+        entries = [PqosL3Ca(cos_id=1, ways_mask=0b1111)]
+        with pytest.raises(PqosError, match="injected"):
+            pqos.l3ca_set(entries)
+        pqos.l3ca_set(entries)  # budget spent: the retry lands
+        assert cat.cos_mask(1) == 0b1111
+        assert pqos.failed_writes == 1
+
+    def test_assoc_drop_is_silent(self):
+        cat, pqos = self.make()
+        pqos.arm(l3ca_failures=0, assoc_drops=1)
+        pqos.alloc_assoc_set(3, 2)  # silently lost
+        assert pqos.alloc_assoc_get(3) == 0
+        pqos.alloc_assoc_set(3, 2)
+        assert pqos.alloc_assoc_get(3) == 2
+        assert pqos.dropped_writes == 1
+
+    def test_reads_never_perturbed(self):
+        cat, pqos = self.make()
+        pqos.arm(l3ca_failures=5, assoc_drops=5)
+        assert pqos.l3ca_get()  # readback works while writes are failing
+        assert pqos.cap_get().num_cos == cat.num_cos
+
+
+CHAOS_SCENARIO = {
+    "machine": {"socket": "xeon_e5", "seed": 7},
+    "manager": {"type": "dcat"},
+    "duration_s": 20,
+    "vms": [
+        {"name": "redis", "baseline_ways": 4, "workload": {"type": "redis"}},
+        {
+            "name": "noisy",
+            "baseline_ways": 4,
+            "workload": {"type": "mload", "wss_mb": 60},
+        },
+    ],
+    "faults": {
+        "seed": 7,
+        "rules": [
+            {"kind": "counter_read_error", "target": "redis", "probability": 0.2},
+            {"kind": "l3ca_set_fail", "probability": 0.2},
+            {"kind": "counter_noise", "magnitude": 3.0, "probability": 0.2},
+        ],
+    },
+}
+
+
+class TestRunChaos:
+    def test_hardened_run_passes_and_is_deterministic(self):
+        a = run_chaos(CHAOS_SCENARIO)
+        b = run_chaos(CHAOS_SCENARIO)
+        assert isinstance(a, ChaosReport)
+        assert a.passed and a.invariant_violations == 0
+        assert a.faulted_intervals > 0
+        assert a.to_json() == b.to_json()
+        assert a.render() == b.render()
+
+    def test_unhardened_run_crashes_on_read_error(self):
+        spec = dict(CHAOS_SCENARIO)
+        spec["manager"] = {"type": "dcat", "config": {"hardened": False}}
+        report = run_chaos(spec)
+        assert report.crashed is not None
+        assert not report.passed
+        assert not report.hardened
+
+    def test_trace_carries_fault_events(self, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        run_chaos(CHAOS_SCENARIO, trace=str(trace))
+        events = [json.loads(line) for line in trace.read_text().splitlines()]
+        assert any(e["event"] == "FaultInjected" for e in events)
+        assert not any(e["event"] == "InvariantViolated" for e in events)
+
+    def test_restarts_validated(self):
+        spec = dict(CHAOS_SCENARIO)
+        spec["restarts"] = [
+            {"vm": "ghost", "detach_interval": 2, "attach_interval": 4}
+        ]
+        with pytest.raises(ScenarioError, match=r"restarts\[0\].vm"):
+            run_chaos(spec)
+        spec["restarts"] = [
+            {"vm": "redis", "detach_interval": 5, "attach_interval": 5}
+        ]
+        with pytest.raises(ScenarioError, match="detach_interval"):
+            run_chaos(spec)
+
+    def test_non_dcat_manager_rejected(self):
+        spec = dict(CHAOS_SCENARIO)
+        spec["manager"] = {"type": "shared"}
+        with pytest.raises(ScenarioError, match="dcat manager"):
+            run_chaos(spec)
+
+    def test_restart_exercises_admit_and_deregister(self):
+        spec = dict(CHAOS_SCENARIO)
+        spec["restarts"] = [
+            {"vm": "noisy", "detach_interval": 5, "attach_interval": 8}
+        ]
+        report = run_chaos(spec)
+        assert report.passed
+
+
+class TestFaultInjectorInstall:
+    def test_double_install_rejected(self):
+        from repro.core.config import DCatConfig
+        from repro.core.controller import DCatController
+
+        cat = CacheAllocationTechnology(num_ways=20, num_cores=4)
+        controller = DCatController(
+            pqos=PqosLibrary(cat, way_size_bytes=2359296),
+            perfmon=PerfMonitor({c: CorePmu() for c in range(4)}),
+            config=DCatConfig(),
+            nominal_cycles_per_core=1_000_000,
+        )
+        injector = FaultInjector(FaultPlan(seed=1))
+        injector.install(controller)
+        assert controller.pqos is injector.pqos
+        assert controller.perfmon is injector.perfmon
+        with pytest.raises(RuntimeError, match="already installed"):
+            injector.install(controller)

@@ -1,0 +1,308 @@
+"""Tests for repro.faults.invariants: the online allocation checker."""
+
+import pytest
+
+from repro.core.config import DCatConfig
+from repro.engine.events import (
+    AllocationPlanned,
+    EventBus,
+    FaultInjected,
+    FaultRecovered,
+    IntervalFinished,
+    InvariantViolated,
+    MasksProgrammed,
+    SampleCollected,
+    StateTransition,
+    WorkloadDeregistered,
+    WorkloadRegistered,
+)
+from repro.faults.invariants import InvariantChecker
+
+
+def make_checker(total_ways=20, patience=2, bus=None):
+    return InvariantChecker(
+        total_ways=total_ways,
+        config=DCatConfig(),
+        bus=bus,
+        patience=patience,
+    )
+
+
+def register(checker, wid, cos_id, baseline_ways):
+    checker._on_event(
+        WorkloadRegistered.fast(
+            time_s=0.0, workload_id=wid, cos_id=cos_id, baseline_ways=baseline_ways
+        )
+    )
+
+
+def sample(checker, wid, miss=0.1, idle=False):
+    checker._on_event(
+        SampleCollected.fast(
+            time_s=0.0,
+            source="controller",
+            workload_id=wid,
+            ipc=0.5,
+            llc_miss_rate=miss,
+            mem_refs_per_instr=0.1,
+            instructions=1000,
+            cycles=2000,
+            idle=idle,
+        )
+    )
+
+
+def interval(checker, plan, masks, free_ways, time_s=1.0):
+    checker._on_event(
+        AllocationPlanned.fast(time_s=time_s, plan=plan, free_ways=free_ways)
+    )
+    checker._on_event(
+        MasksProgrammed.fast(time_s=time_s, masks=masks, moved=())
+    )
+    checker._on_event(
+        IntervalFinished.fast(time_s=time_s, source="controller")
+    )
+
+
+class TestStructuralInvariants:
+    def test_clean_interval_has_no_violations(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        register(checker, "b", 2, 4)
+        interval(
+            checker,
+            plan={"a": 4, "b": 4},
+            masks={"a": 0b1111, "b": 0b11110000},
+            free_ways=12,
+        )
+        assert checker.violations == []
+        assert checker.intervals_checked == 1
+
+    def test_non_contiguous_mask(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        interval(checker, plan={"a": 4}, masks={"a": 0b1011001}, free_ways=16)
+        assert any(v.invariant == "mask_contiguous" for v in checker.violations)
+
+    def test_out_of_bounds_mask(self):
+        checker = make_checker(total_ways=4)
+        register(checker, "a", 1, 2)
+        interval(checker, plan={"a": 2}, masks={"a": 0b110000}, free_ways=2)
+        assert any(v.invariant == "mask_bounds" for v in checker.violations)
+
+    def test_overlapping_masks(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        register(checker, "b", 2, 4)
+        interval(
+            checker,
+            plan={"a": 4, "b": 4},
+            masks={"a": 0b1111, "b": 0b111100},
+            free_ways=12,
+        )
+        assert any(v.invariant == "mask_overlap" for v in checker.violations)
+
+    def test_coverage_mask_plan_mismatch(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        interval(checker, plan={"a": 4}, masks={"a": 0b11111}, free_ways=16)
+        assert any(v.invariant == "coverage" for v in checker.violations)
+
+    def test_coverage_free_pool_accounting(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        interval(checker, plan={"a": 4}, masks={"a": 0b1111}, free_ways=3)
+        assert any(v.invariant == "coverage" for v in checker.violations)
+
+    def test_coverage_plan_names_mismatch(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        interval(
+            checker,
+            plan={"a": 4, "ghost": 2},
+            masks={"a": 0b1111},
+            free_ways=14,
+        )
+        assert any(v.invariant == "coverage" for v in checker.violations)
+
+    def test_duplicate_cos(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        register(checker, "b", 1, 4)
+        interval(
+            checker,
+            plan={"a": 4, "b": 4},
+            masks={"a": 0b1111, "b": 0b11110000},
+            free_ways=12,
+        )
+        assert any(v.invariant == "cos_pool" for v in checker.violations)
+
+
+class TestBaselineGuarantee:
+    def starve(self, checker, n, miss=0.5):
+        for k in range(n):
+            sample(checker, "a", miss=miss)
+            interval(
+                checker,
+                plan={"a": 2},
+                masks={"a": 0b11},
+                free_ways=18,
+                time_s=float(k),
+            )
+
+    def test_fires_only_past_patience(self):
+        checker = make_checker(patience=2)
+        register(checker, "a", 1, 4)
+        self.starve(checker, 2)
+        assert checker.violations == []
+        self.starve(checker, 1)
+        assert [v.invariant for v in checker.violations] == [
+            "baseline_guarantee"
+        ]
+        # one violation per episode, not per interval
+        self.starve(checker, 1)
+        assert len(checker.violations) == 1
+
+    def test_low_miss_rate_is_not_starvation(self):
+        checker = make_checker(patience=1)
+        register(checker, "a", 1, 4)
+        self.starve(checker, 5, miss=0.0)
+        assert checker.violations == []
+
+    def test_idle_workload_exempt(self):
+        checker = make_checker(patience=1)
+        register(checker, "a", 1, 4)
+        for k in range(5):
+            sample(checker, "a", miss=0.5, idle=True)
+            interval(
+                checker, plan={"a": 2}, masks={"a": 0b11}, free_ways=18
+            )
+        assert checker.violations == []
+
+    def test_donor_state_exempt(self):
+        checker = make_checker(patience=1)
+        register(checker, "a", 1, 4)
+        checker._on_event(
+            StateTransition.fast(
+                time_s=0.0, workload_id="a", old_state="keeper", new_state="donor"
+            )
+        )
+        self.starve(checker, 5)
+        assert checker.violations == []
+
+    def test_quarantined_workload_exempt(self):
+        checker = make_checker(patience=1)
+        register(checker, "a", 1, 4)
+        checker._on_event(
+            FaultRecovered.fast(
+                time_s=0.0,
+                kind="erratic_counters",
+                target="a",
+                action="quarantine",
+                attempts=3,
+            )
+        )
+        self.starve(checker, 5)
+        assert checker.violations == []
+        checker._on_event(
+            FaultRecovered.fast(
+                time_s=0.0,
+                kind="erratic_counters",
+                target="a",
+                action="quarantine_release",
+                attempts=1,
+            )
+        )
+        self.starve(checker, 2)
+        assert [v.invariant for v in checker.violations] == [
+            "baseline_guarantee"
+        ]
+
+    def test_gap_closed_on_recovery_and_finalize(self):
+        checker = make_checker(patience=5)
+        register(checker, "a", 1, 4)
+        self.starve(checker, 3)
+        sample(checker, "a", miss=0.5)
+        interval(checker, plan={"a": 4}, masks={"a": 0b1111}, free_ways=16)
+        assert checker.guarantee_gaps == [3]
+        self.starve(checker, 2)
+        checker.finalize()
+        assert checker.guarantee_gaps == [3, 2]
+
+    def test_deregister_closes_open_gap(self):
+        checker = make_checker(patience=5)
+        register(checker, "a", 1, 4)
+        self.starve(checker, 2)
+        checker._on_event(
+            WorkloadDeregistered.fast(time_s=9.0, workload_id="a", cos_id=1)
+        )
+        assert checker.guarantee_gaps == [2]
+        checker.finalize()
+        assert checker.guarantee_gaps == [2]
+
+
+class TestRetentionAccounting:
+    def test_retention_over_faulted_intervals_only(self):
+        checker = make_checker(patience=1)
+        register(checker, "a", 1, 4)
+        # interval 0: faulted, guarantee held
+        checker._on_event(
+            FaultInjected.fast(
+                time_s=0.0, kind="counter_noise", target="a", detail="x2"
+            )
+        )
+        sample(checker, "a", miss=0.0)
+        interval(checker, plan={"a": 4}, masks={"a": 0b1111}, free_ways=16)
+        # interval 1: faulted, starved below baseline
+        checker._on_event(
+            FaultInjected.fast(
+                time_s=1.0, kind="counter_noise", target="a", detail="x2"
+            )
+        )
+        sample(checker, "a", miss=0.5)
+        interval(checker, plan={"a": 2}, masks={"a": 0b11}, free_ways=18)
+        # interval 2: clean, starved — must not count against retention
+        sample(checker, "a", miss=0.5)
+        interval(checker, plan={"a": 2}, masks={"a": 0b11}, free_ways=18)
+        assert checker.faulted_intervals == 2
+        assert checker.guarantee_retention == pytest.approx(0.5)
+
+    def test_retention_is_one_without_faults(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        interval(checker, plan={"a": 4}, masks={"a": 0b1111}, free_ways=16)
+        assert checker.guarantee_retention == 1.0
+
+
+class TestBusIntegration:
+    def test_violations_published_on_the_bus(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append, InvariantViolated)
+        checker = make_checker(bus=bus)
+        register(checker, "a", 1, 4)
+        bus.emit(
+            AllocationPlanned.fast(time_s=1.0, plan={"a": 4}, free_ways=16)
+        )
+        bus.emit(
+            MasksProgrammed.fast(time_s=1.0, masks={"a": 0b1011001}, moved=())
+        )
+        bus.emit(IntervalFinished.fast(time_s=1.0, source="controller"))
+        assert len(seen) == 1
+        assert seen[0].invariant == "mask_contiguous"
+
+    def test_double_attach_rejected(self):
+        bus = EventBus()
+        checker = make_checker(bus=bus)
+        with pytest.raises(RuntimeError, match="already attached"):
+            checker.attach(bus)
+
+    def test_ignores_other_sources(self):
+        checker = make_checker()
+        register(checker, "a", 1, 4)
+        checker._on_event(IntervalFinished.fast(time_s=1.0, source="machine"))
+        assert checker.intervals_checked == 0
+
+    def test_patience_validated(self):
+        with pytest.raises(ValueError, match="patience"):
+            make_checker(patience=0)
