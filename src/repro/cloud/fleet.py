@@ -267,7 +267,9 @@ class CloudFleet:
         self._pending = scripted_tenants(tenants)
         self._next_arrival = 0
         self._time_s = 0.0
-        self.accountant = SloAccountant(self.interval_s, tolerance=slo_tolerance)
+        self.accountant = SloAccountant(
+            self.interval_s, tolerance=slo_tolerance, bus=self.bus
+        )
         self.placements: List[PlacementRecord] = []
 
     @property

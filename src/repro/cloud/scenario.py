@@ -328,7 +328,35 @@ def load_churn_scenario(
     return fleet, duration_s
 
 
-def run_churn_scenario(source: Union[str, Path, Dict[str, Any]]) -> FleetResult:
-    """Load and run a churn scenario end to end."""
-    fleet, duration_s = load_churn_scenario(source)
-    return fleet.run(duration_s)
+def run_churn_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+    metrics: Optional[str] = None,
+) -> FleetResult:
+    """Load and run a churn scenario end to end.
+
+    Args:
+        source: Scenario dict, JSON string, or file path.
+        metrics: Optional path for a telemetry snapshot (Prometheus text
+            plus a ``.json`` sibling): per-stage timings across every
+            machine's loops, tenant lifecycle counters and per-tenant SLO
+            ledgers.  The returned result is identical either way.
+    """
+    if metrics is None:
+        fleet, duration_s = load_churn_scenario(source)
+        return fleet.run(duration_s)
+
+    from repro.engine.events import EventBus, use_bus
+    from repro.engine.pipeline import use_profiler
+    from repro.obs.collectors import BusMetricsCollector, record_slo_stats
+    from repro.obs.export import write_metrics
+    from repro.obs.profiler import StageProfiler
+
+    profiler = StageProfiler()
+    bus = EventBus()
+    BusMetricsCollector(registry=profiler.registry, bus=bus)
+    with use_bus(bus), use_profiler(profiler):
+        fleet, duration_s = load_churn_scenario(source)
+        result = fleet.run(duration_s)
+    record_slo_stats(profiler.registry, result.tenants)
+    write_metrics(profiler.registry, metrics)
+    return result

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.engine.events import EventBus, SloViolated, get_default_bus
+
 __all__ = ["TenantSloStats", "SloAccountant"]
 
 
@@ -62,15 +64,23 @@ class SloAccountant:
         interval_s: The fleet's control interval (span bookkeeping).
         tolerance: Allowed relative shortfall before an interval counts as
             a violation (absorbs the core model's measurement noise).
+        bus: Event bus for :class:`SloViolated` emissions; defaults to the
+            process default (the null bus unless observability is on).
     """
 
-    def __init__(self, interval_s: float, tolerance: float = 0.05) -> None:
+    def __init__(
+        self,
+        interval_s: float,
+        tolerance: float = 0.05,
+        bus: Optional[EventBus] = None,
+    ) -> None:
         if interval_s <= 0:
             raise ValueError("interval_s must be positive")
         if not 0.0 <= tolerance < 1.0:
             raise ValueError("tolerance must be within [0, 1)")
         self.interval_s = interval_s
         self.tolerance = tolerance
+        self.bus = bus if bus is not None else get_default_bus()
         self.tenants: Dict[str, TenantSloStats] = {}
 
     def admitted(self, tenant_id: str, machine: str, time_s: float) -> None:
@@ -110,6 +120,16 @@ class SloAccountant:
                 spans[-1] = (spans[-1][0], end)
             else:
                 spans.append((time_s, end))
+            if self.bus.active:
+                self.bus.emit(
+                    SloViolated.fast(
+                        time_s=time_s,
+                        tenant_id=tenant_id,
+                        machine=stats.machine,
+                        ipc=ipc,
+                        entitled_ipc=entitled_ipc,
+                    )
+                )
 
     # -- aggregation -----------------------------------------------------------
 

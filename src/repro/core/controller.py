@@ -27,7 +27,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from types import MappingProxyType
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cat.layout import pack_contiguous
 from repro.cat.pqos import PqosError, PqosL3Ca, PqosLibrary
@@ -96,6 +96,9 @@ class ControlStepContext:
     # Workloads whose sample this interval is a stale-fallback copy (their
     # performance tables must not ingest it).  Empty on a healthy substrate.
     stale: Dict[str, bool] = field(default_factory=dict)
+    # known_phase lookups resolved once in allocate and reused by commit
+    # (the table cannot change between the two stages of one interval).
+    phase_tables: Dict[str, Any] = field(default_factory=dict)
 
 
 class DCatController:
@@ -466,6 +469,10 @@ class DCatController:
     def _stage_allocate(self, ctx: ControlStepContext) -> None:
         """Step 5 — arbitrate the pool, pack masks, program the hardware."""
         bus = self.bus
+        ctx.phase_tables = {
+            wid: rec.table.known_phase(rec.signature)
+            for wid, rec in self._records.items()
+        }
         inputs = [
             AllocationInput(
                 workload_id=wid,
@@ -474,9 +481,7 @@ class DCatController:
                 grow_request=ctx.decisions[wid].grow_request,
                 baseline_ways=self._records[wid].baseline_ways,
                 reclaiming=ctx.reclaiming[wid],
-                phase_table=self._records[wid].table.known_phase(
-                    self._records[wid].signature
-                ),
+                phase_table=ctx.phase_tables[wid],
             )
             for wid in self._records
         ]
@@ -523,7 +528,7 @@ class DCatController:
             rec.state = decision.state
             rec.last_sample = sample
             rec.last_ipc = sample.ipc
-            table = rec.table.known_phase(rec.signature)
+            table = ctx.phase_tables[wid]
             baseline_ipc = table.baseline_ipc if table else None
             ctx.result.statuses[wid] = WorkloadStatus(
                 workload_id=wid,

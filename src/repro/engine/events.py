@@ -51,6 +51,7 @@ __all__ = [
     "FaultInjected",
     "FaultRecovered",
     "InvariantViolated",
+    "SloViolated",
     "IntervalFinished",
     "EventBus",
     "NullBus",
@@ -238,6 +239,20 @@ class InvariantViolated(Event):
 
     invariant: str
     detail: str
+
+
+@dataclass(frozen=True)
+class SloViolated(Event):
+    """A tenant's measured IPC fell below its SLO threshold this interval.
+
+    Emitted by :class:`~repro.cloud.slo.SloAccountant` when an active
+    interval lands under ``(1 - tolerance)`` of the entitled IPC.
+    """
+
+    tenant_id: str
+    machine: str
+    ipc: float
+    entitled_ipc: float
 
 
 @dataclass(frozen=True)

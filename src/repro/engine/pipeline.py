@@ -10,13 +10,42 @@ that owns it.
 Stages are duck-typed against the :class:`Stage` protocol — anything with a
 ``name`` and a ``run(ctx)``.  Plain callables are adapted with
 :class:`FunctionStage`.
+
+Per-stage profiling hooks in here the same way the default event bus hooks
+into :mod:`repro.engine.events`: a process-wide default profiler
+(:func:`set_default_profiler` / :func:`use_profiler`) is captured by every
+:class:`StagedLoop` at construction, and ``run()`` times each stage through
+it.  With no profiler installed (the default) the loop pays a single
+attribute read per interval — the observability layer costs nothing until
+someone asks for it.  The concrete profiler lives in
+:mod:`repro.obs.profiler`; this module only defines the hook so the engine
+never depends on the metrics layer.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, List, Protocol, Sequence, runtime_checkable
+from contextlib import contextmanager
+from time import perf_counter
+from typing import (
+    Any,
+    Callable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
 
-__all__ = ["Stage", "FunctionStage", "StagedLoop"]
+__all__ = [
+    "Stage",
+    "FunctionStage",
+    "StagedLoop",
+    "StageObserver",
+    "get_default_profiler",
+    "set_default_profiler",
+    "use_profiler",
+]
 
 
 @runtime_checkable
@@ -28,6 +57,49 @@ class Stage(Protocol):
     def run(self, ctx: Any) -> None:
         """Advance the interval: read and mutate the shared context."""
         ...
+
+
+@runtime_checkable
+class StageObserver(Protocol):
+    """Receives one wall-time sample per executed stage.
+
+    ``observe`` must be cheap and must never raise: it runs on the interval
+    hot path of every profiled loop.  :class:`repro.obs.profiler.StageProfiler`
+    is the standard implementation.
+    """
+
+    def observe(self, loop: str, stage: str, elapsed_s: float) -> None:
+        ...
+
+
+_default_profiler: Optional[StageObserver] = None
+
+
+def get_default_profiler() -> Optional[StageObserver]:
+    """The profiler new :class:`StagedLoop` instances pick up (or ``None``)."""
+    return _default_profiler
+
+
+def set_default_profiler(profiler: Optional[StageObserver]) -> None:
+    """Install a process-wide default profiler (``None`` disables)."""
+    global _default_profiler
+    _default_profiler = profiler
+
+
+@contextmanager
+def use_profiler(profiler: Optional[StageObserver]) -> Iterator[Optional[StageObserver]]:
+    """Temporarily install ``profiler`` as the process default.
+
+    Loops constructed inside the ``with`` block are profiled; loops that
+    already exist keep whatever :attr:`StagedLoop.profiler` they captured
+    (attach to those explicitly via ``loop.profiler = profiler``).
+    """
+    previous = _default_profiler
+    set_default_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        set_default_profiler(previous)
 
 
 class FunctionStage:
@@ -57,6 +129,9 @@ class StagedLoop:
     def __init__(self, stages: Sequence[Stage], name: str = "loop") -> None:
         self.name = name
         self._stages: List[Stage] = []
+        #: Per-stage wall-time observer, captured from the process default at
+        #: construction; assign directly to (de)instrument a live loop.
+        self.profiler: Optional[StageObserver] = get_default_profiler()
         for s in stages:
             self.append(s)
 
@@ -120,9 +195,21 @@ class StagedLoop:
     # -- execution ------------------------------------------------------------
 
     def run(self, ctx: Any) -> None:
-        """Run every stage, in order, over one shared context."""
+        """Run every stage, in order, over one shared context.
+
+        With a profiler attached, each stage is timed individually and the
+        sample reported as ``(loop name, stage name, elapsed seconds)``.
+        """
+        profiler = self.profiler
+        if profiler is None:
+            for stage in self._stages:
+                stage.run(ctx)
+            return
+        loop_name = self.name
         for stage in self._stages:
+            start = perf_counter()
             stage.run(ctx)
+            profiler.observe(loop_name, stage.name, perf_counter() - start)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"StagedLoop({self.name!r}: {' -> '.join(self.stage_names)})"

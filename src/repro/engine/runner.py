@@ -41,6 +41,7 @@ def run_experiments(
     jobs: int = 1,
     seed: int = 1234,
     trace_path: Optional[str] = None,
+    metrics_path: Optional[str] = None,
 ) -> "List[ExperimentResult]":
     """Run experiments serially (``jobs <= 1``) or across a process pool.
 
@@ -51,15 +52,19 @@ def run_experiments(
         trace_path: When given (serial only), a JSONL event trace of every
             experiment is written there, with marker lines at experiment
             boundaries, and bus metrics are appended to each result's notes.
+        metrics_path: When given (serial only), a per-stage profiler and a
+            bus collector observe the whole run and the registry is written
+            there as Prometheus text plus a ``.json`` sibling.  Reports are
+            unchanged: telemetry goes to the files, not into the results.
 
     Returns:
         Results in the order of ``ids``, identical for any ``jobs`` value.
 
     Raises:
         KeyError: For unknown experiment ids.
-        ValueError: If ``jobs`` is not positive, or if ``trace_path`` is
-            combined with ``jobs > 1`` (the subscribers would live in the
-            wrong process).
+        ValueError: If ``jobs`` is not positive, or if ``trace_path`` /
+            ``metrics_path`` is combined with ``jobs > 1`` (the subscribers
+            would live in the wrong process).
     """
     from repro.harness.registry import EXPERIMENTS
 
@@ -74,10 +79,12 @@ def run_experiments(
         )
     if trace_path is not None and jobs > 1:
         raise ValueError("--trace requires a serial run (jobs=1)")
+    if metrics_path is not None and jobs > 1:
+        raise ValueError("--metrics requires a serial run (jobs=1)")
 
     if jobs <= 1 or len(ids) <= 1:
-        if trace_path is not None:
-            return _run_traced(ids, seed, trace_path)
+        if trace_path is not None or metrics_path is not None:
+            return _run_observed(ids, seed, trace_path, metrics_path)
         return [_run_one(experiment_id, seed) for experiment_id in ids]
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
@@ -85,25 +92,58 @@ def run_experiments(
         return [f.result() for f in futures]
 
 
-def _run_traced(
-    ids: Sequence[str], seed: int, trace_path: str
+def _run_observed(
+    ids: Sequence[str],
+    seed: int,
+    trace_path: Optional[str],
+    metrics_path: Optional[str],
 ) -> "List[ExperimentResult]":
-    """Serial run with a JSONL trace and per-experiment bus metrics."""
+    """Serial run under observation: JSONL trace and/or metrics snapshot.
+
+    Tracing appends bus-metrics notes to each result (as it always has);
+    metrics collection deliberately leaves the results untouched so that
+    ``run X --metrics out.prom`` prints byte-identical reports to ``run X``.
+    """
+    from contextlib import ExitStack
+
     from repro.engine.events import EventBus, JsonlTraceWriter, MetricsSink, use_bus
+    from repro.engine.pipeline import use_profiler
     from repro.harness.report import render_metrics
+    from repro.obs.collectors import BusMetricsCollector
+    from repro.obs.export import write_metrics
+    from repro.obs.profiler import StageProfiler
 
     results: "List[ExperimentResult]" = []
-    with JsonlTraceWriter(trace_path) as writer:
+    with ExitStack() as stack:
+        writer = (
+            stack.enter_context(JsonlTraceWriter(trace_path))
+            if trace_path is not None
+            else None
+        )
+        profiler: Optional[StageProfiler] = None
+        collector: Optional[BusMetricsCollector] = None
+        if metrics_path is not None:
+            profiler = StageProfiler()
+            collector = BusMetricsCollector(registry=profiler.registry)
+            stack.enter_context(use_profiler(profiler))
         for experiment_id in ids:
             bus = EventBus()
-            bus.subscribe(writer)
-            metrics = MetricsSink()
-            bus.subscribe(metrics)
-            writer.mark(experiment_id=experiment_id, seed=derive_seed(seed, experiment_id))
+            metrics: Optional[MetricsSink] = None
+            if writer is not None:
+                bus.subscribe(writer)
+                metrics = MetricsSink()
+                bus.subscribe(metrics)
+                writer.mark(
+                    experiment_id=experiment_id, seed=derive_seed(seed, experiment_id)
+                )
+            if collector is not None:
+                bus.subscribe(collector.on_event)
             with use_bus(bus):
                 result = _run_one(experiment_id, seed)
-            if metrics.counters:
+            if metrics is not None and metrics.counters:
                 for line in render_metrics(metrics).splitlines():
                     result.note(line)
             results.append(result)
+        if profiler is not None and metrics_path is not None:
+            write_metrics(profiler.registry, metrics_path)
     return results

@@ -215,6 +215,7 @@ _CHAOS_KEYS = {"faults", "restarts", "patience"}
 def run_chaos(
     source: Union[str, Path, Dict[str, Any]],
     trace: Optional[str] = None,
+    metrics: Optional[str] = None,
 ) -> ChaosReport:
     """Run a chaos scenario end to end and report guarantee retention.
 
@@ -224,11 +225,18 @@ def run_chaos(
         trace: Optional path for a JSONL event trace of the run (includes
             the ``FaultInjected`` / ``FaultRecovered`` /
             ``InvariantViolated`` stream).
+        metrics: Optional path for a telemetry snapshot of the run
+            (Prometheus text plus a ``.json`` sibling): per-stage timing
+            histograms — the spliced ``inject_faults`` stage included —
+            fault/recovery counters and per-invariant violation counts.
+            The report itself is unaffected.
 
     Raises:
         ScenarioError: On malformed scenario fields.
         FaultPlanError: On a malformed ``faults`` section.
     """
+    from contextlib import ExitStack
+
     from repro.cat.pqos import PqosError
     from repro.harness.scenario_file import ScenarioError, load_scenario
     from repro.hwcounters.msr import CounterReadError
@@ -262,10 +270,22 @@ def run_chaos(
     if writer is not None:
         bus.subscribe(writer)
     try:
-        sim = CloudSimulation(machine, vms, manager, bus=bus)
-        controller = manager.controller
-        assert controller is not None
-        injector = FaultInjector(plan).install(controller)
+        with ExitStack() as stack:
+            profiler = None
+            if metrics is not None:
+                from repro.engine.pipeline import use_profiler
+                from repro.obs.collectors import BusMetricsCollector
+                from repro.obs.profiler import StageProfiler
+
+                profiler = StageProfiler()
+                BusMetricsCollector(registry=profiler.registry, bus=bus)
+                # Installed before construction so both interval loops (and
+                # the inject_faults stage spliced below) capture it.
+                stack.enter_context(use_profiler(profiler))
+            sim = CloudSimulation(machine, vms, manager, bus=bus)
+            controller = manager.controller
+            assert controller is not None
+            injector = FaultInjector(plan).install(controller)
         checker = InvariantChecker(
             total_ways=controller.total_ways,
             config=controller.config,
@@ -286,6 +306,10 @@ def run_chaos(
         except (PqosError, CounterReadError) as exc:
             crashed = f"{type(exc).__name__}: {exc}"
         checker.finalize()
+        if profiler is not None and metrics is not None:
+            from repro.obs.export import write_metrics
+
+            write_metrics(profiler.registry, metrics)
     finally:
         if writer is not None:
             writer.close()

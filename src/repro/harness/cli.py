@@ -8,8 +8,16 @@ Usage::
     dcat-experiment run all --jobs 4
     dcat-experiment run fig10 --trace fig10.jsonl
     dcat-experiment scenario my_tenants.json [--vm redis]
-    dcat-experiment churn my_churn.json
+    dcat-experiment churn my_churn.json [--metrics churn.prom]
     dcat-experiment chaos examples/chaos.json [--trace chaos.jsonl] [--json]
+    dcat-experiment run fig10 --metrics out.prom
+    dcat-experiment bench [--quick] [--out BENCH_controller.json]
+
+``--metrics PATH`` writes a telemetry snapshot of the run — per-stage
+timing histograms and controller/cloud gauges — as Prometheus text at
+``PATH`` plus a JSON twin at ``PATH.json``, leaving the printed reports
+untouched.  ``bench`` times the hot paths and writes the ``dcat-bench/v1``
+payload that seeds the repo's perf trajectory.
 """
 
 from __future__ import annotations
@@ -49,6 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a JSONL event-bus trace (forces a serial run)",
     )
+    run.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text + JSON telemetry (forces a serial run)",
+    )
     scenario = sub.add_parser(
         "scenario", help="run a JSON scenario file (see repro.harness.scenario_file)"
     )
@@ -64,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a JSON churn scenario over a machine fleet (see repro.cloud.scenario)",
     )
     churn.add_argument("path", help="path to the churn-scenario JSON")
+    churn.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text + JSON telemetry for the fleet run",
+    )
     chaos = sub.add_parser(
         "chaos",
         help="run a fault-injection scenario and report guarantee retention "
@@ -77,9 +97,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace including fault/invariant events",
     )
     chaos.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text + JSON telemetry for the chaos run",
+    )
+    chaos.add_argument(
         "--json",
         action="store_true",
         help="print the report as JSON instead of text",
+    )
+    bench = sub.add_parser(
+        "bench",
+        help="time the hot paths and write a dcat-bench/v1 JSON payload",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small batch sizes for smoke runs (same schema and benchmarks)",
+    )
+    bench.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_controller.json",
+        help="where to write the payload (default: %(default)s)",
     )
     return parser
 
@@ -92,6 +133,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_churn(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -99,12 +142,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     requested = list(args.experiment_id)
     ids = list(EXPERIMENTS) if "all" in requested else requested
     jobs = args.jobs
-    if args.trace is not None and jobs > 1:
-        print("--trace requires a serial run; ignoring --jobs", file=sys.stderr)
+    if (args.trace is not None or args.metrics is not None) and jobs > 1:
+        which = "--trace" if args.trace is not None else "--metrics"
+        print(f"{which} requires a serial run; ignoring --jobs", file=sys.stderr)
         jobs = 1
     try:
         results = run_experiments(
-            ids, jobs=jobs, seed=args.seed, trace_path=args.trace
+            ids,
+            jobs=jobs,
+            seed=args.seed,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -113,7 +161,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(exc, file=sys.stderr)
         return 2
     except OSError as exc:
-        print(f"cannot write trace: {exc}", file=sys.stderr)
+        print(f"cannot write trace or metrics: {exc}", file=sys.stderr)
         return 2
     for result in results:
         print(render_experiment(result))
@@ -152,15 +200,34 @@ def _run_chaos(args) -> int:
     from repro.harness.scenario_file import ScenarioError
 
     try:
-        report = run_chaos(args.path, trace=args.trace)
+        report = run_chaos(args.path, trace=args.trace, metrics=args.metrics)
     except (ScenarioError, FaultPlanError) as exc:
         print(f"chaos scenario error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
-        print(f"cannot write trace: {exc}", file=sys.stderr)
+        print(f"cannot write trace or metrics: {exc}", file=sys.stderr)
         return 2
     print(report.to_json() if args.json else report.render())
     return 0 if report.passed else 1
+
+
+def _run_bench(args) -> int:
+    from repro.obs.bench import run_bench, write_bench
+
+    payload = run_bench(quick=args.quick)
+    try:
+        write_bench(payload, args.out)
+    except OSError as exc:
+        print(f"cannot write bench payload: {exc}", file=sys.stderr)
+        return 2
+    for entry in payload["benchmarks"]:
+        print(
+            f"{entry['name']:<26} best {entry['best_s'] * 1e6:10.2f} us  "
+            f"median {entry['median_s'] * 1e6:10.2f} us  "
+            f"({entry['iterations']}x{entry['repeats']})"
+        )
+    print(f"wrote {args.out}")
+    return 0
 
 
 def _run_churn(args) -> int:
@@ -169,9 +236,12 @@ def _run_churn(args) -> int:
     try:
         from repro.cloud.scenario import run_churn_scenario
 
-        result = run_churn_scenario(args.path)
+        result = run_churn_scenario(args.path, metrics=args.metrics)
     except ScenarioError as exc:
         print(f"churn scenario error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot write metrics: {exc}", file=sys.stderr)
         return 2
     print("== admissions ==")
     print(f"{'t':>6} {'tenant':<16} {'machine':<8} outcome")

@@ -40,7 +40,13 @@ from repro.harness.experiments.timelines import (
 )
 from repro.harness.results import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "experiment_ids", "run_experiment"]
+__all__ = [
+    "EXPERIMENTS",
+    "SMOKE_KWARGS",
+    "experiment_ids",
+    "run_experiment",
+    "run_experiment_smoke",
+]
 
 Runner = Callable[..., ExperimentResult]
 
@@ -77,9 +83,25 @@ EXPERIMENTS: Dict[str, Runner] = {
 }
 
 
+#: Size-shrinking keyword overrides for the few long-running experiments, so
+#: a smoke sweep over the whole registry stays fast.  Experiments absent here
+#: are already small and run with their defaults.
+SMOKE_KWARGS: Dict[str, Dict[str, object]] = {
+    "fig17": {"benchmarks": ["mcf"], "instructions": 2_000_000},
+    "tab3": {"benchmarks": ["mcf"], "instructions": 2_000_000},
+}
+
+
 def experiment_ids() -> list:
     """All registered experiment ids, in registration (paper) order."""
     return list(EXPERIMENTS)
+
+
+def run_experiment_smoke(experiment_id: str, seed: int = 1234) -> ExperimentResult:
+    """Run an experiment at its smallest size (the registry smoke sweep)."""
+    return run_experiment(
+        experiment_id, seed=seed, **SMOKE_KWARGS.get(experiment_id, {})
+    )
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:

@@ -91,6 +91,8 @@ def render_sparkline(series: Series, width: int = 60) -> str:
 def render_series(series: Series, max_points: int = 40) -> str:
     """A compact x->y listing plus a sparkline, subsampled for long series."""
     n = len(series.x)
+    if n == 0:
+        return f"{series.name}: (empty)"
     stride = max(1, n // max_points)
     pairs = [
         f"({series.x[i]:g}, {series.y[i]:.3f})" for i in range(0, n, stride)

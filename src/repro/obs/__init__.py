@@ -1,0 +1,44 @@
+"""Observability layer: metrics registry, stage profiler, exporters, bench.
+
+``repro.obs`` measures the reproduction itself.  The registry
+(:mod:`repro.obs.registry`) holds deterministic counters/gauges/histograms;
+:class:`~repro.obs.profiler.StageProfiler` hooks the engine's
+``StagedLoop`` stages for wall-time histograms;
+:class:`~repro.obs.collectors.BusMetricsCollector` turns the event-bus
+stream into controller telemetry; :mod:`repro.obs.export` renders it all as
+Prometheus text and JSON; :mod:`repro.obs.bench` times the hot paths and
+writes ``BENCH_controller.json``.
+"""
+
+from repro.obs.collectors import BusMetricsCollector, record_slo_stats
+from repro.obs.export import (
+    registry_to_dict,
+    render_prometheus,
+    write_metrics,
+)
+from repro.obs.profiler import StageProfiler
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "BusMetricsCollector",
+    "record_slo_stats",
+    "registry_to_dict",
+    "render_prometheus",
+    "write_metrics",
+    "StageProfiler",
+    "DEFAULT_TIME_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+]

@@ -1,0 +1,289 @@
+"""Hot-path micro-benchmarks behind ``dcat-experiment bench``.
+
+Seeds the repo's perf trajectory: each run times the paths every interval
+exercises — the exact cache model's access loop, counter aggregation, a full
+warm controller step, a simulation step under the null vs a recording bus,
+raw event emission, and mask packing/validation — and writes the results to
+``BENCH_controller.json`` at the repo root (schema ``dcat-bench/v1``).
+
+Timing discipline: every benchmark runs ``repeats`` batches of
+``iterations`` calls, reporting best/median/mean per-call seconds; *best*
+is the headline number (least noise on shared machines).  GC is disabled
+inside timed batches.  ``--quick`` shrinks batch sizes for CI smoke runs;
+the schema and benchmark set are identical in both modes.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import statistics
+from time import perf_counter
+from typing import Any, Callable, Dict, List
+
+__all__ = ["BENCH_FORMAT", "run_bench", "validate_bench_payload", "write_bench"]
+
+BENCH_FORMAT = "dcat-bench/v1"
+
+#: Every payload must carry at least this many hot-path timings.
+MIN_BENCHMARKS = 5
+
+_REQUIRED_KEYS = ("name", "iterations", "repeats", "best_s", "median_s", "mean_s")
+
+
+def _time(fn: Callable[[], None], iterations: int, repeats: int) -> Dict[str, Any]:
+    """Per-call seconds over ``repeats`` timed batches of ``iterations``."""
+    fn()  # warm caches/JIT-free but import- and allocation-warm
+    per_call: List[float] = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for _ in range(repeats):
+            gc.collect()
+            gc.disable()
+            start = perf_counter()
+            for _ in range(iterations):
+                fn()
+            elapsed = perf_counter() - start
+            gc.enable()
+            per_call.append(elapsed / iterations)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return {
+        "iterations": iterations,
+        "repeats": repeats,
+        "best_s": min(per_call),
+        "median_s": statistics.median(per_call),
+        "mean_s": statistics.fmean(per_call),
+    }
+
+
+# -- the benchmarks ----------------------------------------------------------
+
+
+def _bench_setassoc(quick: bool) -> Callable[[], None]:
+    import numpy as np
+
+    from repro.cache.setassoc import SetAssociativeCache
+    from repro.mem.address import CacheGeometry
+
+    geometry = CacheGeometry(line_size=64, num_sets=256, num_ways=16)
+    cache = SetAssociativeCache(geometry)
+    rng = np.random.default_rng(1234)
+    n = 512 if quick else 2048
+    # Touch 2x the cache's sets so the batch mixes hits, fills and evictions.
+    paddrs = rng.integers(0, 2 * geometry.capacity_bytes, size=n, dtype=np.int64)
+    mask = (1 << 8) - 1  # an 8-way COS, the common partitioned case
+
+    def run() -> None:
+        cache.access_many(paddrs, mask=mask, cos=1)
+
+    return run
+
+
+def _bench_aggregate(quick: bool) -> Callable[[], None]:
+    from repro.hwcounters.perfmon import CounterSample
+
+    # One sample per vCPU of the paper's largest per-workload core set.
+    samples = [
+        CounterSample(
+            l1_ref=1_000_000 + i,
+            llc_ref=50_000 + i,
+            llc_miss=9_000 + i,
+            ret_ins=2_000_000 + i,
+            cycles=2_400_000 + i,
+        )
+        for i in range(8)
+    ]
+
+    def run() -> None:
+        CounterSample.aggregate(samples)
+
+    return run
+
+
+def _warm_stage(seed: int, warmup_s: float):
+    from repro.harness.scenarios import build_stage, paper_machine
+    from repro.mem.address import MB
+    from repro.platform.managers import DCatManager
+    from repro.platform.sim import CloudSimulation
+    from repro.workloads.mlr import MlrWorkload
+
+    machine = paper_machine(seed=seed)
+    vms = build_stage(
+        machine,
+        [MlrWorkload(8 * MB, start_delay_s=1.0, name="target")],
+        baseline_ways=3,
+        n_lookbusy=5,
+    )
+    manager = DCatManager()
+    sim = CloudSimulation(machine, vms, manager)
+    sim.run(warmup_s)
+    return sim, manager
+
+
+def _bench_controller_step(quick: bool) -> Callable[[], None]:
+    sim, manager = _warm_stage(seed=1, warmup_s=2.0 if quick else 5.0)
+    controller = manager.controller
+
+    def run() -> None:
+        sim.step()  # keep counters moving so the controller sees live data
+        controller.step()
+
+    return run
+
+
+def _bench_sim_step_null_bus(quick: bool) -> Callable[[], None]:
+    sim, _ = _warm_stage(seed=5, warmup_s=2.0 if quick else 5.0)
+    return sim.step
+
+
+def _bench_sim_step_ring_bus(quick: bool) -> Callable[[], None]:
+    from repro.engine.events import EventBus, RingBufferRecorder
+    from repro.harness.scenarios import build_stage, paper_machine
+    from repro.mem.address import MB
+    from repro.platform.managers import DCatManager
+    from repro.platform.sim import CloudSimulation
+    from repro.workloads.mlr import MlrWorkload
+
+    bus = EventBus()
+    bus.subscribe(RingBufferRecorder(capacity=100_000))
+    machine = paper_machine(seed=5)
+    vms = build_stage(
+        machine,
+        [MlrWorkload(8 * MB, start_delay_s=1.0, name="target")],
+        baseline_ways=3,
+        n_lookbusy=5,
+    )
+    sim = CloudSimulation(machine, vms, DCatManager(), bus=bus)
+    sim.run(2.0 if quick else 5.0)
+    return sim.step
+
+
+def _bench_event_emit(quick: bool) -> Callable[[], None]:
+    from repro.engine.events import EventBus, SampleCollected
+
+    bus = EventBus()
+    sink: List[object] = []
+    bus.subscribe(sink.append)
+
+    def run() -> None:
+        bus.emit(
+            SampleCollected.fast(
+                time_s=1.0,
+                source="controller",
+                workload_id="target",
+                ipc=1.5,
+                llc_miss_rate=0.2,
+                mem_refs_per_instr=0.4,
+                instructions=1_000_000,
+                cycles=700_000,
+                idle=False,
+            )
+        )
+        sink.clear()
+
+    return run
+
+
+def _bench_mask_pack(quick: bool) -> Callable[[], None]:
+    from repro.cat.cos import contiguous_mask, validate_cbm
+
+    # The commit stage packs one contiguous mask per live workload; 6 VMs on
+    # the paper's 20-way part is the canonical layout.
+    layout = [(0, 3), (3, 3), (6, 3), (9, 3), (12, 3), (15, 5)]
+
+    def run() -> None:
+        for first, ways in layout:
+            validate_cbm(contiguous_mask(first, ways), 20)
+
+    return run
+
+
+_BENCHMARKS: List[Dict[str, Any]] = [
+    {"name": "setassoc_access_many", "build": _bench_setassoc,
+     "iterations": (2, 10), "repeats": (3, 5),
+     "note": "exact-model batch access (2048 addrs, 8-way mask)"},
+    {"name": "counter_sample_aggregate", "build": _bench_aggregate,
+     "iterations": (2_000, 20_000), "repeats": (3, 5),
+     "note": "per-interval counter aggregation over 8 vCPU samples"},
+    {"name": "controller_step", "build": _bench_controller_step,
+     "iterations": (5, 20), "repeats": (3, 5),
+     "note": "full control step (collect..commit) on the warm 6-VM stage"},
+    {"name": "sim_step_null_bus", "build": _bench_sim_step_null_bus,
+     "iterations": (5, 20), "repeats": (3, 5),
+     "note": "one simulation interval, no bus subscribers"},
+    {"name": "sim_step_ring_bus", "build": _bench_sim_step_ring_bus,
+     "iterations": (5, 20), "repeats": (3, 5),
+     "note": "one simulation interval with a ring-buffer recorder subscribed"},
+    {"name": "event_emit", "build": _bench_event_emit,
+     "iterations": (5_000, 50_000), "repeats": (3, 5),
+     "note": "Event.fast construction + single-subscriber emit"},
+    {"name": "mask_pack", "build": _bench_mask_pack,
+     "iterations": (2_000, 20_000), "repeats": (3, 5),
+     "note": "contiguous-mask packing + CBM validation for 6 workloads"},
+]
+
+
+def run_bench(quick: bool = False) -> Dict[str, Any]:
+    """Run every hot-path benchmark; returns the ``dcat-bench/v1`` payload."""
+    idx = 0 if quick else 1
+    results: List[Dict[str, Any]] = []
+    for spec in _BENCHMARKS:
+        fn = spec["build"](quick)
+        timing = _time(fn, spec["iterations"][idx], spec["repeats"][idx])
+        results.append({"name": spec["name"], "note": spec["note"], **timing})
+    return {"format": BENCH_FORMAT, "quick": quick, "benchmarks": results}
+
+
+def validate_bench_payload(payload: Any) -> Dict[str, Any]:
+    """Check a bench payload against the ``dcat-bench/v1`` schema.
+
+    Returns the payload unchanged; raises ``ValueError`` naming the first
+    problem found.  Used by tests and the CI bench-smoke step.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError(f"payload must be an object, got {type(payload).__name__}")
+    if payload.get("format") != BENCH_FORMAT:
+        raise ValueError(f"format must be {BENCH_FORMAT!r}, got {payload.get('format')!r}")
+    if not isinstance(payload.get("quick"), bool):
+        raise ValueError("'quick' must be a boolean")
+    benchmarks = payload.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        raise ValueError("'benchmarks' must be a list")
+    if len(benchmarks) < MIN_BENCHMARKS:
+        raise ValueError(
+            f"need >= {MIN_BENCHMARKS} hot-path timings, got {len(benchmarks)}"
+        )
+    seen = set()
+    for i, entry in enumerate(benchmarks):
+        if not isinstance(entry, dict):
+            raise ValueError(f"benchmarks[{i}] must be an object")
+        for key in _REQUIRED_KEYS:
+            if key not in entry:
+                raise ValueError(f"benchmarks[{i}] is missing {key!r}")
+        name = entry["name"]
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"benchmarks[{i}].name must be a non-empty string")
+        if name in seen:
+            raise ValueError(f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        for key in ("best_s", "median_s", "mean_s"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"benchmarks[{i}].{key} must be a positive number")
+        for key in ("iterations", "repeats"):
+            value = entry[key]
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"benchmarks[{i}].{key} must be a positive integer")
+        if entry["best_s"] > entry["mean_s"] * (1 + 1e-9):
+            raise ValueError(f"benchmarks[{i}]: best_s exceeds mean_s")
+    return payload
+
+
+def write_bench(payload: Dict[str, Any], path: str) -> None:
+    """Validate and write a bench payload as indented JSON."""
+    validate_bench_payload(payload)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")

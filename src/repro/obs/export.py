@@ -1,0 +1,126 @@
+"""Registry exporters: Prometheus text exposition and JSON snapshots.
+
+The metrics naming scheme (documented in ``DESIGN.md``):
+
+* every metric is prefixed ``dcat_``;
+* counters end in ``_total``;
+* wall-time histograms end in ``_seconds`` (and are the only
+  nondeterministic values a run emits);
+* labels are drawn from the closed set ``loop``, ``stage``, ``state``,
+  ``kind``, ``action``, ``invariant``, ``event``, ``tenant``,
+  ``old_state``/``new_state``.
+
+:func:`write_metrics` is what ``dcat-experiment ... --metrics PATH`` calls:
+it writes Prometheus text at ``PATH`` and the same snapshot as JSON at
+``PATH`` with a ``.json`` suffix appended (``out.prom`` → ``out.prom.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Tuple
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricFamily, MetricsRegistry
+
+__all__ = ["render_prometheus", "registry_to_dict", "write_metrics", "json_sibling"]
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number: integral values lose the trailing ``.0``."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    parts = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (version 0.0.4)."""
+    lines: List[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        names = family.label_names
+        for values, child in family.samples():
+            if isinstance(child, Histogram):
+                cumulative = child.cumulative()
+                for boundary, count in zip(family.buckets, cumulative):
+                    le = _label_str(names, values, f'le="{_format_value(boundary)}"')
+                    lines.append(f"{family.name}_bucket{le} {count}")
+                inf = _label_str(names, values, 'le="+Inf"')
+                lines.append(f"{family.name}_bucket{inf} {cumulative[-1]}")
+                label_str = _label_str(names, values)
+                lines.append(f"{family.name}_sum{label_str} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{label_str} {child.count}")
+            else:
+                label_str = _label_str(names, values)
+                lines.append(
+                    f"{family.name}{label_str} {_format_value(child.value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _family_to_dict(family: MetricFamily) -> Dict[str, Any]:
+    samples: List[Dict[str, Any]] = []
+    for values, child in family.samples():
+        labels = dict(zip(family.label_names, values))
+        if isinstance(child, Histogram):
+            samples.append(
+                {
+                    "labels": labels,
+                    "count": child.count,
+                    "sum": child.sum,
+                    "buckets": [
+                        {"le": boundary, "count": count}
+                        for boundary, count in zip(family.buckets, child.counts)
+                    ]
+                    + [{"le": "+Inf", "count": child.counts[-1]}],
+                }
+            )
+        elif isinstance(child, (Counter, Gauge)):
+            samples.append({"labels": labels, "value": child.value})
+    return {
+        "name": family.name,
+        "help": family.help,
+        "type": family.kind,
+        "samples": samples,
+    }
+
+
+def registry_to_dict(registry: MetricsRegistry) -> Dict[str, Any]:
+    """A JSON-ready snapshot of every family in the registry."""
+    return {
+        "format": "dcat-metrics/v1",
+        "metrics": [_family_to_dict(f) for f in registry.families()],
+    }
+
+
+def json_sibling(path: str) -> str:
+    """Where :func:`write_metrics` puts the JSON twin of ``path``."""
+    return path + ".json"
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write Prometheus text at ``path`` and JSON at its sibling.
+
+    Returns the JSON sibling's path.
+    """
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(render_prometheus(registry))
+    sibling = json_sibling(path)
+    with open(sibling, "w", encoding="utf-8") as f:
+        json.dump(registry_to_dict(registry), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return sibling

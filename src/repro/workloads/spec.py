@@ -23,7 +23,7 @@ static CAT never loses to shared cache for cache-resident victims.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Optional
 
 from repro.cache.analytical import AccessPattern
@@ -187,13 +187,7 @@ def spec_workload(
         ) from None
     phase = profile.phase()
     if instructions is not None:
-        phase = Phase(
-            name=phase.name,
-            pattern=phase.pattern,
-            wss_bytes=phase.wss_bytes,
-            behavior=phase.behavior,
-            page_size=phase.page_size,
-            zipf_s=phase.zipf_s,
-            instructions=instructions,
-        )
+        # replace() keeps pattern-specific fields (hot_bytes/hot_fraction)
+        # that a hand-rolled rebuild would silently drop.
+        phase = replace(phase, instructions=instructions)
     return PhasedWorkload(name=name, phases=[phase], start_delay_s=start_delay_s)

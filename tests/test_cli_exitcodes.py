@@ -1,0 +1,170 @@
+"""CLI exit-code and error-path contract tests.
+
+The driver scripts and CI treat ``dcat-experiment``'s exit status as an
+API: 0 success, 1 a chaos run that broke its guarantees, 2 usage/input
+errors.  These tests pin that contract, including the error messages'
+field context, and the ``bench`` / ``--metrics`` flows.
+"""
+
+import json
+from pathlib import Path
+
+from repro.harness.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestRunExitCodes:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["run", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+        assert "nope" in err
+
+    def test_known_experiment_exits_0(self, capsys):
+        assert main(["run", "fig3"]) == 0
+        assert "== fig3" in capsys.readouterr().out
+
+    def test_metrics_writes_prom_and_json(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        assert main(["run", "fig3", "--metrics", str(out)]) == 0
+        capsys.readouterr()
+        assert out.exists()
+        sibling = tmp_path / "m.prom.json"
+        payload = json.loads(sibling.read_text())
+        assert payload["format"] == "dcat-metrics/v1"
+
+    def test_metrics_with_jobs_warns_and_runs_serial(self, tmp_path, capsys):
+        out = tmp_path / "m.prom"
+        assert main(["run", "fig3", "--jobs", "4", "--metrics", str(out)]) == 0
+        assert "ignoring --jobs" in capsys.readouterr().err
+        assert out.exists()
+
+    def test_unwritable_metrics_path_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "dir" / "m.prom"
+        assert main(["run", "fig3", "--metrics", str(target)]) == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestChurnExitCodes:
+    def test_invalid_field_exits_2_with_context(self, tmp_path, capsys):
+        scenario = {
+            "fleet": {"machines": 2},
+            "duration_s": 5,
+            "tenants": [
+                {"name": "t", "baseline_ways": -3,
+                 "workload": {"type": "redis"}}
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["churn", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "tenants[0].baseline_ways" in err
+
+    def test_unknown_workload_type_names_the_field(self, tmp_path, capsys):
+        scenario = {
+            "duration_s": 5,
+            "tenants": [{"name": "t", "workload": {"type": "quake"}}],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["churn", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "tenants[0].workload.type" in err
+        assert "quake" in err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["churn", str(tmp_path / "absent.json")]) == 2
+        assert "neither a file nor valid JSON" in capsys.readouterr().err
+
+    def test_good_scenario_exits_0(self, capsys):
+        assert main(["churn", f"{FIXTURES}/golden_churn_scenario.json"]) == 0
+        out = capsys.readouterr().out
+        assert "== per-tenant SLO ==" in out
+
+    def test_unwritable_metrics_path_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "no" / "such" / "m.prom"
+        code = main([
+            "churn", f"{FIXTURES}/golden_churn_scenario.json",
+            "--metrics", str(target),
+        ])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestChaosExitCodes:
+    def test_clean_run_exits_0(self, capsys):
+        assert main(["chaos", f"{FIXTURES}/golden_chaos_scenario.json"]) == 0
+        assert "invariant violations: 0" in capsys.readouterr().out
+
+    def test_crashed_unhardened_run_exits_1(self, tmp_path, capsys):
+        scenario = json.loads(
+            (FIXTURES / "golden_chaos_scenario.json").read_text()
+        )
+        scenario["manager"] = {"type": "dcat", "config": {"hardened": False}}
+        scenario["faults"]["rules"][0]["probability"] = 1.0
+        path = tmp_path / "unhardened.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["chaos", str(path), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["crashed"] is not None
+
+    def test_malformed_fault_rule_exits_2(self, tmp_path, capsys):
+        scenario = json.loads(
+            (FIXTURES / "golden_chaos_scenario.json").read_text()
+        )
+        scenario["faults"]["rules"][0]["kind"] = "meteor_strike"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["chaos", str(path)]) == 2
+        assert "chaos scenario error" in capsys.readouterr().err
+
+    def test_unwritable_trace_path_exits_2(self, tmp_path, capsys):
+        code = main([
+            "chaos", f"{FIXTURES}/golden_chaos_scenario.json",
+            "--trace", str(tmp_path / "no" / "such" / "t.jsonl"),
+        ])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestBenchExitCodes:
+    def test_quick_bench_writes_valid_payload(self, tmp_path, capsys):
+        from repro.obs.bench import validate_bench_payload
+
+        out = tmp_path / "BENCH.json"
+        assert main(["bench", "--quick", "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert f"wrote {out}" in stdout
+        payload = json.loads(out.read_text())
+        validate_bench_payload(payload)
+        assert payload["quick"] is True
+
+    def test_unwritable_out_exits_2(self, tmp_path, capsys, monkeypatch):
+        import repro.obs.bench as bench_mod
+
+        # Stub the timing sweep: this test pins the error path, not perf.
+        fake = {
+            "format": bench_mod.BENCH_FORMAT,
+            "quick": True,
+            "benchmarks": [
+                {"name": f"b{i}", "note": "n", "iterations": 1, "repeats": 1,
+                 "best_s": 1e-6, "median_s": 1e-6, "mean_s": 1e-6}
+                for i in range(bench_mod.MIN_BENCHMARKS)
+            ],
+        }
+        monkeypatch.setattr(bench_mod, "run_bench", lambda quick=False: fake)
+        code = main([
+            "bench", "--out", str(tmp_path / "no" / "such" / "B.json")
+        ])
+        assert code == 2
+        assert "cannot write bench payload" in capsys.readouterr().err
+
+
+def test_list_prints_every_experiment(capsys):
+    from repro.harness.registry import EXPERIMENTS
+
+    assert main(["list"]) == 0
+    printed = capsys.readouterr().out.split()
+    assert printed == list(EXPERIMENTS)

@@ -1,0 +1,100 @@
+"""Golden-trace regression tests.
+
+One small chaos scenario and one small churn scenario are pinned as
+committed fixtures: the full JSONL event-bus trace plus the rendered
+report.  The runs are seeded and every event field is simulation-time
+derived, so a replay must be **byte-identical** — any diff means an
+observable behavior change in the controller, the event vocabulary, or
+the report renderers, and must be reviewed (not papered over).
+
+To regenerate after an intentional change::
+
+    GOLDEN_REGEN=1 PYTHONPATH=src python -m pytest tests/test_golden_traces.py
+
+then inspect ``git diff tests/fixtures`` before committing.
+"""
+
+import io
+import json
+import os
+from pathlib import Path
+
+from repro.cloud.scenario import load_churn_scenario
+from repro.engine.events import EventBus, JsonlTraceWriter, use_bus
+from repro.faults.chaos import run_chaos
+from repro.harness.cli import main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REGEN = os.environ.get("GOLDEN_REGEN") == "1"
+
+CHAOS_SCENARIO = FIXTURES / "golden_chaos_scenario.json"
+CHURN_SCENARIO = FIXTURES / "golden_churn_scenario.json"
+
+
+def _check_golden(golden: Path, actual: str) -> None:
+    if REGEN:
+        golden.write_text(actual)
+    assert golden.exists(), (
+        f"missing fixture {golden.name}; regenerate with GOLDEN_REGEN=1"
+    )
+    expected = golden.read_text()
+    assert actual == expected, (
+        f"{golden.name} drifted from the committed golden copy; if the "
+        "change is intentional, regenerate with GOLDEN_REGEN=1 and review "
+        "the diff"
+    )
+
+
+class TestChaosGolden:
+    def test_trace_replays_byte_identical(self, tmp_path):
+        trace = tmp_path / "chaos.jsonl"
+        run_chaos(str(CHAOS_SCENARIO), trace=str(trace))
+        _check_golden(FIXTURES / "golden_chaos_trace.jsonl", trace.read_text())
+
+    def test_report_replays_byte_identical(self):
+        report = run_chaos(str(CHAOS_SCENARIO))
+        _check_golden(
+            FIXTURES / "golden_chaos_report.json", report.to_json() + "\n"
+        )
+
+    def test_two_runs_agree_with_each_other(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        run_chaos(str(CHAOS_SCENARIO), trace=str(a))
+        run_chaos(str(CHAOS_SCENARIO), trace=str(b))
+        assert a.read_text() == b.read_text()
+
+
+class TestChurnGolden:
+    def _run_traced(self) -> str:
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        bus = EventBus()
+        bus.subscribe(writer)
+        with use_bus(bus):
+            fleet, duration_s = load_churn_scenario(str(CHURN_SCENARIO))
+            fleet.run(duration_s)
+        writer.close()
+        return buffer.getvalue()
+
+    def test_trace_replays_byte_identical(self):
+        _check_golden(FIXTURES / "golden_churn_trace.jsonl", self._run_traced())
+
+    def test_report_replays_byte_identical(self, capsys):
+        exit_code = main(["churn", str(CHURN_SCENARIO)])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        _check_golden(FIXTURES / "golden_churn_report.txt", out)
+
+    def test_two_runs_agree_with_each_other(self):
+        assert self._run_traced() == self._run_traced()
+
+
+def test_golden_traces_are_valid_jsonl():
+    for name in ("golden_chaos_trace.jsonl", "golden_churn_trace.jsonl"):
+        path = FIXTURES / name
+        if not path.exists():  # pragma: no cover - regen bootstrap only
+            continue
+        lines = path.read_text().splitlines()
+        assert lines, f"{name} is empty"
+        events = [json.loads(line) for line in lines]
+        assert all("event" in ev and "time_s" in ev for ev in events)

@@ -1,0 +1,57 @@
+"""Every registered experiment must run and render at its smallest size.
+
+A one-line change to a shared layer (report renderer, result container,
+controller default) can silently break a figure nobody re-ran.  This sweep
+executes all registry entries through :func:`run_experiment_smoke` — which
+shrinks the two SPEC-driven long runs via ``SMOKE_KWARGS`` — and pushes
+each result through the full ASCII renderer.
+"""
+
+import pytest
+
+from repro.harness.registry import (
+    EXPERIMENTS,
+    SMOKE_KWARGS,
+    experiment_ids,
+    run_experiment_smoke,
+)
+from repro.harness.report import render_experiment, render_series
+from repro.harness.results import BarGroup, ExperimentResult, Series, TableResult
+
+
+@pytest.mark.parametrize("experiment_id", experiment_ids())
+def test_experiment_runs_and_renders(experiment_id):
+    result = run_experiment_smoke(experiment_id)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.artifacts, f"{experiment_id} produced no artifacts"
+    text = render_experiment(result)
+    assert text.startswith(f"== {experiment_id}:")
+    for name, artifact in result.artifacts.items():
+        assert f"-- {name} --" in text
+        assert isinstance(artifact, (TableResult, BarGroup, Series))
+
+
+def test_smoke_kwargs_only_name_registered_experiments():
+    assert set(SMOKE_KWARGS) <= set(EXPERIMENTS)
+
+
+def test_spec_instruction_override_keeps_pattern_fields():
+    # Regression: overriding `instructions` used to rebuild the Phase by
+    # hand and drop hot_bytes/hot_fraction, crashing every HOTCOLD
+    # benchmark (mcf, soplex, ...) run at reduced size.
+    from repro.workloads.spec import spec_workload
+
+    full = spec_workload("mcf").peek_phases()[0]
+    small = spec_workload("mcf", instructions=2_000_000).peek_phases()[0]
+    assert small.instructions == 2_000_000
+    assert small.hot_bytes == full.hot_bytes
+    assert small.hot_fraction == full.hot_fraction
+    assert small.pattern == full.pattern
+
+
+def test_render_series_handles_empty_series():
+    # Regression: an empty series used to render as "name: " with a
+    # trailing space; it must say so explicitly instead.
+    empty = Series(name="empty", x=[], y=[])
+    assert render_series(empty) == "empty: (empty)"
