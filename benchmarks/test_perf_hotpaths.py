@@ -20,6 +20,7 @@ from repro.obs.bench import (
     _bench_event_emit,
     _bench_mask_pack,
     _bench_setassoc,
+    _bench_setassoc_scalar,
     _bench_sim_step_null_bus,
     _bench_sim_step_ring_bus,
 )
@@ -28,6 +29,7 @@ from repro.obs.bench import (
 # these on an idle laptop; tripping one means a real perf cliff.
 _CEILINGS_S = {
     "setassoc_access_many": 0.5,
+    "setassoc_access_scalar": 0.5,
     "counter_sample_aggregate": 1e-3,
     "controller_step": 0.25,
     "sim_step_null_bus": 0.25,
@@ -38,6 +40,7 @@ _CEILINGS_S = {
 
 _CASES = [
     ("setassoc_access_many", _bench_setassoc, 3),
+    ("setassoc_access_scalar", _bench_setassoc_scalar, 3),
     ("counter_sample_aggregate", _bench_aggregate, 200),
     ("controller_step", _bench_controller_step, 3),
     ("sim_step_null_bus", _bench_sim_step_null_bus, 3),
@@ -59,3 +62,30 @@ def test_hotpath(benchmark, name, build, iterations):
     per_call = (time.perf_counter() - start) / iterations
     benchmark.pedantic(fn, rounds=3, iterations=iterations)
     assert per_call <= _CEILINGS_S[name]
+
+
+def test_batch_beats_scalar(benchmark):
+    """The vectorized batch pipeline must outrun its scalar reference.
+
+    Same workload, same cache geometry, interleaved timing batches so a
+    load spike on the CI box penalizes both legs roughly equally.
+    """
+    batch = _bench_setassoc(True)
+    scalar = _bench_setassoc_scalar(True)
+    batch()
+    scalar()
+    batch_s = scalar_s = 0.0
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(3):
+            batch()
+        batch_s += time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(3):
+            scalar()
+        scalar_s += time.perf_counter() - start
+    benchmark.pedantic(batch, rounds=3, iterations=3)
+    assert batch_s < scalar_s, (
+        f"batch path ({batch_s:.4f}s) slower than scalar reference "
+        f"({scalar_s:.4f}s)"
+    )

@@ -19,6 +19,8 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.mem.address import CacheGeometry
 from repro.cache.setassoc import SetAssociativeCache
 
@@ -133,18 +135,62 @@ class CacheHierarchy:
         stats.llc_misses += 1
         return HitLevel.DRAM
 
+    def access_many(self, core: int, paddrs) -> Dict[HitLevel, int]:
+        """Batched memory references by ``core``; returns counts per level.
+
+        Level-batched: the whole batch runs through the L1, its misses run
+        through the L2, and the remainder through the LLC (under ``core``'s
+        way mask), each level using the exact batch pipeline.  Each level's
+        verdicts are bit-exact against a scalar loop over that level; the
+        only divergence from :meth:`access` is that LLC back-invalidations
+        apply after the batch instead of interleaved with it, so an inner
+        hit late in the batch may be served by a line the scalar path would
+        already have ripped out.  Inclusivity still holds at every batch
+        boundary because the deferred back-invalidations are applied last.
+        Use :meth:`access` when exact interleaving matters.
+        """
+        paddrs = np.asarray(paddrs)
+        n = int(paddrs.size)
+        counts = {level: 0 for level in HitLevel}
+        if n == 0:
+            return counts
+        stats = self.stats[core]
+        stats.l1_refs += n
+        l1_flags = self.l1s[core].access_many_flags(paddrs)
+        miss1 = paddrs[~l1_flags]
+        counts[HitLevel.L1] = n - int(miss1.size)
+        stats.l1_misses += int(miss1.size)
+        if self.l2s is not None:
+            l2_flags = self.l2s[core].access_many_flags(miss1)
+            miss2 = miss1[~l2_flags]
+            counts[HitLevel.L2] = int(miss1.size) - int(miss2.size)
+        else:
+            miss2 = miss1
+        stats.llc_refs += int(miss2.size)
+        llc_flags = self.llc.access_many_flags(
+            miss2, mask=self._masks[core], cos=core
+        )
+        llc_hits = int(np.count_nonzero(llc_flags))
+        counts[HitLevel.LLC] = llc_hits
+        counts[HitLevel.DRAM] = int(miss2.size) - llc_hits
+        stats.llc_misses += counts[HitLevel.DRAM]
+        return counts
+
     # -- inclusivity -------------------------------------------------------------
 
     def _back_invalidate(self, line_id: int) -> None:
-        """Drop an LLC-evicted line from every inner cache (inclusive LLC)."""
+        """Drop an LLC-evicted line from every inner cache (inclusive LLC).
+
+        Goes through :meth:`SetAssociativeCache.invalidate_line` so the
+        inner caches' owner tracking and replacement recency are cleared
+        too, not just the tag — a back-invalidated way must become the
+        set's next victim, not keep its stale recency.
+        """
         geo = self.llc.geometry
         paddr = line_id << geo.offset_bits
         for cache_list in ([self.l1s] if self.l2s is None else [self.l1s, self.l2s]):
             for inner in cache_list:
-                way = inner.lookup(paddr)
-                if way is not None:
-                    s = inner.geometry.set_index(paddr)
-                    inner._tags[s, way] = SetAssociativeCache.INVALID_TAG
+                inner.invalidate_line(paddr)
 
     def check_inclusive(self, sample_paddrs) -> bool:
         """True if every sampled inner-resident line is also LLC-resident."""

@@ -35,7 +35,40 @@ def _mask_ways(mask: int, num_ways: int) -> np.ndarray:
 
 
 class ReplacementPolicy(abc.ABC):
-    """Abstract victim-selection policy over a fixed geometry."""
+    """Abstract victim-selection policy over a fixed geometry.
+
+    Beyond the scalar ``touch``/``victim`` pair, policies expose a *batch
+    contract* used by :meth:`SetAssociativeCache.access_many`:
+
+    * :meth:`invalidate` — a line was dropped (flush or back-invalidation);
+      forget its recency so a refilled set evicts in the right order.
+    * :meth:`touch_many` — bulk equivalent of a ``touch`` loop.
+    * The *run protocol* (``batch_begin`` / ``run_begin`` / ``run_touch`` /
+      ``run_victim`` / ``run_end`` / ``batch_end``): the cache opens one run
+      per set it visits in a batch, feeds touches and victim requests through
+      run-local state, and the policy writes its arrays back once per set
+      instead of once per access.  ``order`` is the access's position in the
+      batch, so order-stamped state (LRU) stays bit-identical to the scalar
+      path.  The default implementations delegate to the scalar methods in
+      temporal order, which is correct for any policy; LRU and PLRU override
+      them with list-based run state updated in bulk.
+    * ``supports_bulk_touch`` — True when ``touch_many_at`` applied *after* a
+      batch reproduces the scalar state for hit-only sets; the cache then
+      skips run state entirely for sets whose whole batch slice hits.
+    """
+
+    #: Whether hit-only touches may be deferred and applied in bulk at batch
+    #: end (True for order-stamped LRU and stateless-touch policies).
+    supports_bulk_touch = False
+
+    #: Whether the run state is a plain per-way stamp list (larger = more
+    #: recent) whose touch semantics are ``ctx[way] = run_stamp_base + order
+    #: + 1`` and whose victim is the minimum-stamp allowed way.  The batch
+    #: pipeline inlines both operations for such policies instead of paying
+    #: a Python call per access; ``run_stamp_base`` is published by
+    #: :meth:`batch_begin`.
+    stamp_run_state = False
+    run_stamp_base = 0
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         if num_sets < 1 or num_ways < 1:
@@ -54,6 +87,46 @@ class ReplacementPolicy(abc.ABC):
     def reset(self) -> None:
         """Forget all recency state (used when ways are flushed)."""
 
+    # -- batch contract ------------------------------------------------------
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        """Forget the recency of one dropped line (flush / back-invalidate)."""
+
+    def touch_many(self, set_indices, ways) -> None:
+        """Bulk touch, equivalent to a scalar ``touch`` loop in order."""
+        for s, w in zip(set_indices, ways):
+            self.touch(int(s), int(w))
+
+    def touch_many_at(self, set_indices, ways, orders) -> None:
+        """Bulk touch with explicit batch positions (``orders`` ascending).
+
+        Called by the batch pipeline for hit-only sets when
+        ``supports_bulk_touch`` is set; inputs arrive in temporal order, so
+        the default loop is exact for order-insensitive policies.
+        """
+        self.touch_many(set_indices, ways)
+
+    def batch_begin(self, count: int) -> None:
+        """A batch of ``count`` accesses is starting."""
+
+    def batch_end(self, count: int) -> None:
+        """The batch announced by :meth:`batch_begin` is complete."""
+
+    def run_begin(self, set_index: int) -> object:
+        """Open run-local state for one set of the current batch."""
+        return set_index
+
+    def run_touch(self, ctx: object, way: int, order: int) -> None:
+        """Record a touch through run state (``order`` = batch position)."""
+        self.touch(ctx, way)  # default ctx is the set index
+
+    def run_victim(self, ctx: object, allowed_ways, allowed_mask: int) -> int:
+        """Pick a victim through run state (``allowed_ways`` ascending)."""
+        return self.victim(ctx, allowed_mask)
+
+    def run_end(self, set_index: int, ctx: object) -> None:
+        """Write run-local state back to the policy arrays."""
+
 
 class LruPolicy(ReplacementPolicy):
     """True least-recently-used via per-way timestamps.
@@ -63,10 +136,14 @@ class LruPolicy(ReplacementPolicy):
     analytical model assumes, so the exact simulator defaults to it.
     """
 
+    supports_bulk_touch = True
+    stamp_run_state = True
+
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
         self._stamps = np.zeros((num_sets, num_ways), dtype=np.int64)
         self._clock = 0
+        self._batch_base = 0
 
     def touch(self, set_index: int, way: int) -> None:
         self._clock += 1
@@ -80,6 +157,53 @@ class LruPolicy(ReplacementPolicy):
     def reset(self) -> None:
         self._stamps.fill(0)
         self._clock = 0
+
+    # -- batch contract ------------------------------------------------------
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        self._stamps[set_index, way] = 0
+
+    def touch_many(self, set_indices, ways) -> None:
+        sets = np.asarray(set_indices, dtype=np.int64)
+        if sets.size == 0:
+            return
+        stamps = self._clock + 1 + np.arange(sets.size, dtype=np.int64)
+        # Duplicate (set, way) pairs: the scalar loop's last touch wins, and
+        # stamps strictly increase, so an unbuffered max reproduces it.
+        np.maximum.at(
+            self._stamps, (sets, np.asarray(ways, dtype=np.int64)), stamps
+        )
+        self._clock += int(sets.size)
+
+    def touch_many_at(self, set_indices, ways, orders) -> None:
+        sets = np.asarray(set_indices, dtype=np.int64)
+        if sets.size == 0:
+            return
+        stamps = self._batch_base + 1 + np.asarray(orders, dtype=np.int64)
+        np.maximum.at(
+            self._stamps, (sets, np.asarray(ways, dtype=np.int64)), stamps
+        )
+
+    def batch_begin(self, count: int) -> None:
+        self._batch_base = self._clock
+        self.run_stamp_base = self._clock
+
+    def batch_end(self, count: int) -> None:
+        # One touch per access in both paths: the scalar loop would have
+        # advanced the clock exactly ``count`` times.
+        self._clock += count
+
+    def run_begin(self, set_index: int):
+        return self._stamps[set_index].tolist()
+
+    def run_touch(self, ctx, way: int, order: int) -> None:
+        ctx[way] = self._batch_base + order + 1
+
+    def run_victim(self, ctx, allowed_ways, allowed_mask: int) -> int:
+        return min(allowed_ways, key=ctx.__getitem__)
+
+    def run_end(self, set_index: int, ctx) -> None:
+        self._stamps[set_index] = ctx
 
 
 class TreePlruPolicy(ReplacementPolicy):
@@ -143,9 +267,66 @@ class TreePlruPolicy(ReplacementPolicy):
         self._bits.fill(0)
         self._ages.fill(0)
 
+    # -- batch contract ------------------------------------------------------
+
+    def invalidate(self, set_index: int, way: int) -> None:
+        # Tree bits stay (hardware keeps them); the age makes the way oldest.
+        self._ages[set_index, way] = 0
+
+    def run_begin(self, set_index: int):
+        return (self._bits[set_index].tolist(), self._ages[set_index].tolist())
+
+    def run_touch(self, ctx, way: int, order: int) -> None:
+        bits, ages = ctx
+        node = 0
+        lo, hi = 0, self._tree_ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1
+                node = 2 * node + 1
+                hi = mid
+            else:
+                bits[node] = 0
+                node = 2 * node + 2
+                lo = mid
+        for i, age in enumerate(ages):
+            if age:
+                ages[i] = age - 1
+        ages[way] = 255
+
+    def run_victim(self, ctx, allowed_ways, allowed_mask: int) -> int:
+        bits, ages = ctx
+        node = 0
+        lo, hi = 0, self._tree_ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if bits[node]:
+                node = 2 * node + 2
+                lo = mid
+            else:
+                node = 2 * node + 1
+                hi = mid
+        choice = lo
+        if choice < self.num_ways and (allowed_mask >> choice) & 1:
+            return choice
+        return min(allowed_ways, key=ages.__getitem__)
+
+    def run_end(self, set_index: int, ctx) -> None:
+        bits, ages = ctx
+        self._bits[set_index] = bits
+        self._ages[set_index] = ages
+
 
 class RandomPolicy(ReplacementPolicy):
-    """Uniform-random victim among allowed ways (baseline for ablations)."""
+    """Uniform-random victim among allowed ways (baseline for ablations).
+
+    Batch note: touches are stateless, so bulk touch is a no-op, while
+    victims keep going through the scalar :meth:`victim` (the default run
+    protocol) so the RNG is consumed in exactly the scalar path's order.
+    """
+
+    supports_bulk_touch = True
 
     def __init__(
         self,
@@ -157,6 +338,12 @@ class RandomPolicy(ReplacementPolicy):
         self._rng = rng if rng is not None else np.random.default_rng(7)
 
     def touch(self, set_index: int, way: int) -> None:  # noqa: D102 - stateless
+        pass
+
+    def touch_many(self, set_indices, ways) -> None:  # noqa: D102 - stateless
+        pass
+
+    def touch_many_at(self, set_indices, ways, orders) -> None:  # noqa: D102
         pass
 
     def victim(self, set_index: int, allowed_mask: int) -> int:

@@ -106,6 +106,7 @@ class SetAssociativeCache:
         self.stats = CacheStats()
         self._eviction_callback = eviction_callback
         self._full_mask = (1 << nways) - 1
+        self._allowed_cache: Dict[int, tuple] = {}
 
     # -- mask helpers ---------------------------------------------------------
 
@@ -183,53 +184,286 @@ class SetAssociativeCache:
     ) -> int:
         """Run a batch of accesses; returns the number of hits.
 
-        This is the hot path for the exact-model experiments.  It iterates in
-        Python (LRU is inherently sequential) but avoids per-access object
-        construction.
+        This is the hot path for the exact-model experiments.  The batch is
+        decomposed once (vectorized set/tag extraction plus one gather of all
+        touched tag rows), accesses whose sets see no conflicting activity are
+        resolved entirely in numpy, and only the sets with at least one miss
+        fall back to a sequential per-set loop over Python-native row state.
+        The result is bit-exact against the :meth:`access_many_ref` scalar
+        reference for every policy: same hits, evictions, per-COS stats,
+        occupancy and replacement state.
+
+        Eviction callbacks fire *after* the whole batch's state is applied,
+        in access order (the scalar path fires them mid-access); callbacks
+        must not mutate this cache, which the hierarchy's back-invalidation
+        — the only in-tree callback — never does.
         """
-        geo = self.geometry
+        hits, _ = self._access_batch(paddrs, mask, cos, want_flags=False)
+        return hits
+
+    def access_many_flags(
+        self, paddrs: np.ndarray, mask: Optional[int] = None, cos: int = 0
+    ) -> np.ndarray:
+        """Like :meth:`access_many` but returns the per-access hit flags.
+
+        The hierarchy's batch path uses the flags to route each level's
+        misses into the next level.
+        """
+        _, flags = self._access_batch(paddrs, mask, cos, want_flags=True)
+        return flags
+
+    def access_many_ref(
+        self, paddrs: np.ndarray, mask: Optional[int] = None, cos: int = 0
+    ) -> int:
+        """Scalar reference for :meth:`access_many` (one :meth:`access` per
+        address); the equivalence oracle for the batch pipeline and the
+        baseline leg of the ``setassoc_access_scalar`` benchmark."""
+        hits = 0
+        for paddr in paddrs:
+            if self.access(int(paddr), mask=mask, cos=cos).hit:
+                hits += 1
+        return hits
+
+    def _allowed_ways(self, fill_mask: int) -> tuple:
+        """The mask's way indices, ascending (memoized per mask)."""
+        ways = self._allowed_cache.get(fill_mask)
+        if ways is None:
+            ways = tuple(
+                w for w in range(self.geometry.num_ways) if (fill_mask >> w) & 1
+            )
+            self._allowed_cache[fill_mask] = ways
+        return ways
+
+    def _access_batch(
+        self, paddrs: np.ndarray, mask: Optional[int], cos: int, want_flags: bool
+    ):
         fill_mask = self._full_mask if mask is None else self.validate_mask(mask)
-        set_indices = geo.set_indices(paddrs)
-        tags = geo.tags(paddrs)
+        paddrs = np.asarray(paddrs)
+        n = int(paddrs.size)
+        if n == 0:
+            return 0, np.zeros(0, dtype=bool)
+        geo = self.geometry
+        num_sets = geo.num_sets
+        invalid = self.INVALID_TAG
         tag_array = self._tags
         policy = self._policy
+
+        # Decompose the whole batch once, then detect hits against a snapshot
+        # of every touched row.  A snapshot verdict is exact for any set whose
+        # batch slice is hit-only (its row never changes mid-batch); sets with
+        # at least one snapshot miss replay sequentially below.
+        sets_arr = geo.set_indices(paddrs)
+        tags_arr = geo.tags(paddrs)
+        eq = tag_array[sets_arr] == tags_arr[:, None]
+        snap_hit = eq.any(axis=1)
+        snap_way = eq.argmax(axis=1)  # first matching way, as in the scalar path
+
+        if policy.supports_bulk_touch:
+            if snap_hit.all():
+                slow_idx = None  # pure-touch batch, no per-set state needed
+            else:
+                miss_table = np.zeros(num_sets, dtype=bool)
+                miss_table[sets_arr[~snap_hit]] = True
+                slow_mask = miss_table[sets_arr]
+                slow_idx = np.flatnonzero(slow_mask)
+        else:
+            # Policies without deferrable touches (PLRU's aging) replay every
+            # access so their state stays bit-exact.
+            slow_mask = np.ones(n, dtype=bool)
+            slow_idx = np.arange(n)
+
+        flags = snap_hit if want_flags else None
         hits = 0
-        nways = geo.num_ways
-        allowed = [w for w in range(nways) if (fill_mask >> w) & 1]
-        for i in range(len(paddrs)):
-            s = int(set_indices[i])
-            t = int(tags[i])
-            row = tag_array[s]
-            way = -1
-            for w in range(nways):
-                if row[w] == t:
-                    way = w
-                    break
-            if way >= 0:
-                policy.touch(s, way)
-                hits += 1
-                continue
-            fill_way = -1
-            for w in allowed:
-                if row[w] == self.INVALID_TAG:
-                    fill_way = w
-                    break
-            if fill_way < 0:
-                fill_way = policy.victim(s, fill_mask)
-                old_tag = int(row[fill_way])
-                if old_tag != self.INVALID_TAG:
-                    self.stats.evictions += 1
-                    if self._eviction_callback is not None:
-                        self._eviction_callback(geo.line_id_of(s, old_tag))
-            row[fill_way] = t
-            self._owner_cos[s, fill_way] = cos
-            policy.touch(s, fill_way)
-        misses = len(paddrs) - hits
-        self.stats.hits += hits
-        self.stats.misses += misses
-        self.stats.per_cos_hits[cos] = self.stats.per_cos_hits.get(cos, 0) + hits
-        self.stats.per_cos_misses[cos] = self.stats.per_cos_misses.get(cos, 0) + misses
-        return hits
+        evictions: list = []  # line ids, in access order (callback only)
+        stats_evictions = 0
+        fill_sets: list = []
+        fill_ways: list = []
+        policy.batch_begin(n)
+        if slow_idx is None:
+            hits = n
+            policy.touch_many_at(sets_arr, snap_way, np.arange(n))
+        else:
+            if int(slow_idx.size) < n:
+                clean_mask = ~slow_mask
+                hits += int(np.count_nonzero(clean_mask))
+                policy.touch_many_at(
+                    sets_arr[clean_mask],
+                    snap_way[clean_mask],
+                    np.flatnonzero(clean_mask),
+                )
+            if want_flags:
+                flags = snap_hit.copy()  # slow verdicts overwritten below
+            allowed = self._allowed_ways(fill_mask)
+            evict_append = evictions.append
+            fills_append = fill_sets.append
+            fillw_append = fill_ways.append
+            if policy.stamp_run_state:
+                # Inlined fast path for stamp-list run state (LRU).  Two
+                # facts make it exact.  First, the stamp of access ``i`` is
+                # always ``base + i + 1`` (one touch per access, hit or
+                # miss), so cross-set ordering is irrelevant and the slow
+                # accesses can be regrouped by set; eviction order is
+                # restored afterwards from (position, line) pairs when a
+                # callback needs it.  Second, within one set the LRU order
+                # of the allowed ways is their last-touch order, so an
+                # insertion-ordered dict — seeded ascending by batch-start
+                # stamp (stable sort: stamp ties break toward the lower
+                # way, as argmin does) and rotated to the back on every
+                # touch of an allowed way — yields each victim as its first
+                # key with no scanning.
+                base1 = policy.run_stamp_base + 1
+                allowed_set = frozenset(allowed)
+                has_cb = self._eviction_callback is not None
+                evict_count = 0
+                grouped = slow_idx[np.argsort(sets_arr[slow_idx], kind="stable")]
+                g_pos = grouped.tolist()
+                g_sets = sets_arr[grouped].tolist()
+                g_tags = tags_arr[grouped].tolist()
+                ev_pairs: list = []
+                ev_append = ev_pairs.append
+                run_begin = policy.run_begin
+                run_end = policy.run_end
+                nslow = len(g_pos)
+                lo = 0
+                while lo < nslow:
+                    s = g_sets[lo]
+                    hi = lo + 1
+                    while hi < nslow and g_sets[hi] == s:
+                        hi += 1
+                    row = tag_array[s].tolist()
+                    way_of = {}
+                    for w in range(len(row) - 1, -1, -1):
+                        rt = row[w]
+                        if rt != invalid:
+                            way_of[rt] = w
+                    way_get = way_of.get
+                    free = [w for w in allowed if row[w] == invalid]
+                    nfree = len(free)
+                    pos = 0
+                    ctx = run_begin(s)
+                    rec = dict.fromkeys(sorted(allowed, key=ctx.__getitem__))
+                    rec_pop = rec.pop
+                    for i, t in zip(g_pos[lo:hi], g_tags[lo:hi]):
+                        w = way_get(t)
+                        if w is not None:
+                            ctx[w] = base1 + i
+                            if w in allowed_set:
+                                rec_pop(w, None)
+                                rec[w] = None
+                            hits += 1
+                            if want_flags:
+                                flags[i] = True
+                            continue
+                        if want_flags:
+                            flags[i] = False
+                        if pos < nfree:
+                            w = free[pos]
+                            pos += 1
+                            rec_pop(w, None)
+                        else:
+                            w = next(iter(rec))
+                            del rec[w]
+                            old = row[w]
+                            # No free allowed way remains: the victim held
+                            # a line.
+                            evict_count += 1
+                            if has_cb:
+                                ev_append((i, old * num_sets + s))
+                            del way_of[old]
+                        row[w] = t
+                        way_of[t] = w
+                        ctx[w] = base1 + i
+                        rec[w] = None
+                        fills_append(s)
+                        fillw_append(w)
+                    # Every miss set takes at least one fill (the first
+                    # occurrence of a snapshot-missing tag cannot hit), so
+                    # the row is always dirty here.
+                    tag_array[s] = row
+                    run_end(s, ctx)
+                    lo = hi
+                if ev_pairs:
+                    ev_pairs.sort()
+                    evictions = [line for _, line in ev_pairs]
+                else:
+                    evictions = []
+                stats_evictions = evict_count
+            else:
+                run_touch = policy.run_touch
+                run_victim = policy.run_victim
+                states: Dict[int, list] = {}
+                states_get = states.get
+                # Per-set state: [row, tag->way, free allowed ways, next
+                # free, policy run ctx, row dirty].
+                for i, s, t in zip(
+                    slow_idx.tolist(),
+                    sets_arr[slow_idx].tolist(),
+                    tags_arr[slow_idx].tolist(),
+                ):
+                    st = states_get(s)
+                    if st is None:
+                        row = tag_array[s].tolist()
+                        way_of = {}
+                        for w in range(len(row) - 1, -1, -1):
+                            rt = row[w]
+                            if rt != invalid:
+                                way_of[rt] = w
+                        free = [w for w in allowed if row[w] == invalid]
+                        st = [row, way_of, free, 0, policy.run_begin(s), False]
+                        states[s] = st
+                    way_of = st[1]
+                    w = way_of.get(t)
+                    if w is not None:
+                        run_touch(st[4], w, i)
+                        hits += 1
+                        if want_flags:
+                            flags[i] = True
+                        continue
+                    if want_flags:
+                        flags[i] = False
+                    row = st[0]
+                    pos = st[3]
+                    free = st[2]
+                    if pos < len(free):
+                        w = free[pos]
+                        st[3] = pos + 1
+                    else:
+                        w = run_victim(st[4], allowed, fill_mask)
+                        old = row[w]
+                        # No free allowed way remains, so the victim held a
+                        # line.
+                        evict_append(old * num_sets + s)
+                        del way_of[old]
+                    row[w] = t
+                    way_of[t] = w
+                    st[5] = True
+                    fills_append(s)
+                    fillw_append(w)
+                    run_touch(st[4], w, i)
+                for s, st in states.items():
+                    if st[5]:
+                        tag_array[s] = st[0]
+                    policy.run_end(s, st[4])
+                stats_evictions = len(evictions)
+        policy.batch_end(n)
+
+        if fill_sets:
+            self._owner_cos[fill_sets, fill_ways] = cos
+        stats = self.stats
+        misses = n - hits
+        stats.hits += hits
+        stats.misses += misses
+        if hits:
+            stats.per_cos_hits[cos] = stats.per_cos_hits.get(cos, 0) + hits
+        if misses:
+            stats.per_cos_misses[cos] = stats.per_cos_misses.get(cos, 0) + misses
+        if stats_evictions:
+            stats.evictions += stats_evictions
+            callback = self._eviction_callback
+            if callback is not None:
+                for line_id in evictions:
+                    callback(line_id)
+        return hits, flags
 
     # -- maintenance ----------------------------------------------------------
 
@@ -237,7 +471,10 @@ class SetAssociativeCache:
         """Invalidate every line in the masked ways; returns lines dropped.
 
         Models the paper's user-level "cache-way flush" helper used after an
-        allocation change (Intel has no per-way flush instruction).
+        allocation change (Intel has no per-way flush instruction).  Every
+        dropped line is also reported to the replacement policy's
+        ``invalidate`` hook so a flushed-then-refilled set evicts in true
+        recency order instead of trusting stale stamps/ages.
         """
         self.validate_mask(mask)
         dropped = 0
@@ -247,13 +484,33 @@ class SetAssociativeCache:
                 continue
             col = self._tags[:, way]
             valid = np.nonzero(col != self.INVALID_TAG)[0]
-            if self._eviction_callback is not None:
-                for s in valid:
-                    self._eviction_callback(geo.line_id_of(int(s), int(col[s])))
+            for s in valid.tolist():
+                self._policy.invalidate(s, way)
+                if self._eviction_callback is not None:
+                    self._eviction_callback(geo.line_id_of(s, int(col[s])))
             dropped += int(valid.size)
             col.fill(self.INVALID_TAG)
             self._owner_cos[:, way].fill(-1)
         return dropped
+
+    def invalidate_line(self, paddr: int) -> bool:
+        """Silently drop the line holding ``paddr``; True if it was resident.
+
+        This is the inclusive back-invalidation primitive: no eviction
+        callback fires and no stats move, but the owner tracking and the
+        replacement policy's recency state are both cleared so the inner
+        cache does not later evict in stale order.
+        """
+        geo = self.geometry
+        set_index = geo.set_index(paddr)
+        ways = np.nonzero(self._tags[set_index] == geo.tag(paddr))[0]
+        if not ways.size:
+            return False
+        way = int(ways[0])
+        self._tags[set_index, way] = self.INVALID_TAG
+        self._owner_cos[set_index, way] = -1
+        self._policy.invalidate(set_index, way)
+        return True
 
     def occupancy_by_cos(self) -> Dict[int, int]:
         """Lines currently resident, keyed by the COS that filled them.

@@ -139,10 +139,14 @@ class SensitivityAwarePolicy(PlacementPolicy):
         fitting = self._fitting(tenant, machines)
         if not fitting:
             return None
-        sensitivity = cache_sensitivity(workload, fitting[0], tenant.baseline_ways)
-        if sensitivity >= self.threshold:
+        # Sensitivity depends on the host geometry (total ways, way size),
+        # so judge it against the would-be placement — the machine with the
+        # most spare reserved ways — not against whichever machine happens
+        # to be first in fleet order.
+        headroom = max(fitting, key=lambda m: (m.free_ways, -machines.index(m)))
+        if cache_sensitivity(workload, headroom, tenant.baseline_ways) >= self.threshold:
             # Most spare reserved ways first: room to grow beyond baseline.
-            return max(fitting, key=lambda m: (m.free_ways, -machines.index(m)))
+            return headroom
         # Insensitive: fill the fullest machine that still fits.
         return min(fitting, key=lambda m: (m.free_ways, machines.index(m)))
 

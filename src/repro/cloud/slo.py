@@ -116,7 +116,12 @@ class SloAccountant:
             stats.violation_intervals += 1
             end = time_s + self.interval_s
             spans = stats.violation_spans
-            if spans and abs(spans[-1][1] - time_s) < 1e-9:
+            # Interval timestamps are float-accumulated, so adjacency must
+            # be judged at interval scale: an absolute epsilon (1e-9) falls
+            # below float64 resolution once time_s grows past ~1e7 with
+            # millisecond intervals and splits one contiguous violation
+            # into many single-interval spans.
+            if spans and abs(spans[-1][1] - time_s) < 0.5 * self.interval_s:
                 spans[-1] = (spans[-1][0], end)
             else:
                 spans.append((time_s, end))

@@ -61,7 +61,7 @@ def _time(fn: Callable[[], None], iterations: int, repeats: int) -> Dict[str, An
 # -- the benchmarks ----------------------------------------------------------
 
 
-def _bench_setassoc(quick: bool) -> Callable[[], None]:
+def _setassoc_fixture(quick: bool):
     import numpy as np
 
     from repro.cache.setassoc import SetAssociativeCache
@@ -74,9 +74,24 @@ def _bench_setassoc(quick: bool) -> Callable[[], None]:
     # Touch 2x the cache's sets so the batch mixes hits, fills and evictions.
     paddrs = rng.integers(0, 2 * geometry.capacity_bytes, size=n, dtype=np.int64)
     mask = (1 << 8) - 1  # an 8-way COS, the common partitioned case
+    return cache, paddrs, mask
+
+
+def _bench_setassoc(quick: bool) -> Callable[[], None]:
+    cache, paddrs, mask = _setassoc_fixture(quick)
 
     def run() -> None:
         cache.access_many(paddrs, mask=mask, cos=1)
+
+    return run
+
+
+def _bench_setassoc_scalar(quick: bool) -> Callable[[], None]:
+    """Scalar reference leg of the scalar-vs-batch pair (same workload)."""
+    cache, paddrs, mask = _setassoc_fixture(quick)
+
+    def run() -> None:
+        cache.access_many_ref(paddrs, mask=mask, cos=1)
 
     return run
 
@@ -204,6 +219,9 @@ _BENCHMARKS: List[Dict[str, Any]] = [
     {"name": "setassoc_access_many", "build": _bench_setassoc,
      "iterations": (2, 10), "repeats": (3, 5),
      "note": "exact-model batch access (2048 addrs, 8-way mask)"},
+    {"name": "setassoc_access_scalar", "build": _bench_setassoc_scalar,
+     "iterations": (2, 10), "repeats": (3, 5),
+     "note": "scalar reference for the same workload (batch speedup baseline)"},
     {"name": "counter_sample_aggregate", "build": _bench_aggregate,
      "iterations": (2_000, 20_000), "repeats": (3, 5),
      "note": "per-interval counter aggregation over 8 vCPU samples"},

@@ -63,5 +63,4 @@ class StageProfiler:
 
     def total_seconds(self, loop: str, stage: str) -> float:
         """Cumulative wall time spent in ``stage`` of ``loop``."""
-        child = self._seconds._children.get((loop, stage))
-        return child.sum if child is not None else 0.0  # type: ignore[union-attr]
+        return self.registry.sum_value("dcat_stage_seconds", loop=loop, stage=stage)

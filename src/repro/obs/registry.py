@@ -186,6 +186,21 @@ class MetricFamily:
             self._children[key] = child
         return child
 
+    def child(self, **labels: str):
+        """The existing child for one label combination, or ``None``.
+
+        Unlike :meth:`labels` this never creates the child, so read-side
+        code (snapshots, reports) can probe without materializing empty
+        children into the export.
+        """
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name}: expected labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        return self._children.get(key)
+
     def samples(self) -> List[Tuple[Tuple[str, ...], object]]:
         """Children sorted by label values (deterministic export order)."""
         return sorted(self._children.items())
@@ -288,6 +303,14 @@ class MetricsRegistry:
         key = tuple(str(labels[n]) for n in family.label_names)
         child = family._children.get(key)
         return child.value if child is not None else 0.0  # type: ignore[union-attr]
+
+    def sum_value(self, name: str, **labels: str) -> float:
+        """The ``sum`` of one histogram child (0.0 if it never observed)."""
+        family = self._families[name]
+        if family.kind != "histogram":
+            raise MetricError(f"{name} is a {family.kind}; use value() instead")
+        child = family.child(**labels)
+        return child.sum if child is not None else 0.0
 
     def label_values(self, name: str) -> List[Tuple[str, ...]]:
         """All label-value combinations a family has seen, sorted."""

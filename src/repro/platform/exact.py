@@ -50,6 +50,9 @@ class ExactCloudSimulation(CloudSimulation):
             interval across all VMs (split by relative reference rate).
         interleave_chunks: Round-robin granularity of the merged trace.
         seed: Seed for the per-VM trace generators.
+        llc_policy: Replacement policy for the tag-array LLC (``lru``
+            engages the batch pipeline's inlined stamp path, so it is also
+            the fastest choice).
     """
 
     def __init__(
@@ -61,13 +64,14 @@ class ExactCloudSimulation(CloudSimulation):
         interleave_chunks: int = 16,
         seed: int = 2024,
         bus: Optional["EventBus"] = None,
+        llc_policy: str = "lru",
     ) -> None:
         super().__init__(machine, vms, manager, bus=bus)
         if accesses_per_interval < 1:
             raise ValueError("accesses_per_interval must be positive")
         self.accesses_per_interval = accesses_per_interval
         self.interleave_chunks = max(1, interleave_chunks)
-        self.llc = SetAssociativeCache(machine.spec.llc)
+        self.llc = SetAssociativeCache(machine.spec.llc, policy=llc_policy)
         master = np.random.default_rng(seed)
         self._tables: Dict[str, PageTable] = {
             vm.name: PageTable(rng=np.random.default_rng(master.integers(0, 2**63)))

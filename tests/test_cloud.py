@@ -186,6 +186,42 @@ class TestPlacement:
         for policy in (FirstFitPolicy(), LeastLoadedPolicy(), SensitivityAwarePolicy()):
             assert policy.place(spec, self._workload(spec.workload), [m0]) is None
 
+    def test_sensitivity_depends_on_host_geometry(self):
+        # An 8 MB working set behind a 4-way reservation: starved on the
+        # Xeon-D (4 x 1 MB ways) but already fully resident on the E5
+        # (4 x 2.25 MB = 9 MB), so the same workload scores sensitive on
+        # one host and insensitive on the other.
+        d = make_fleet_machine("d")
+        e5 = FleetMachine(
+            name="e5",
+            machine=Machine(spec=SocketSpec.xeon_e5_2697v4(), seed=7),
+            manager=DCatManager(),
+        )
+        w = self._workload({"type": "mlr", "wss_mb": 8})
+        assert cache_sensitivity(w, d, 4) > 0.01
+        assert cache_sensitivity(w, e5, 4) <= 0.01
+
+    def test_sensitivity_judged_against_would_be_placement(self):
+        # Mixed-geometry fleet, Xeon-D listed first.  The headroom machine
+        # (most free ways) is the E5, where the tenant is insensitive, so
+        # the policy must pack it tightly instead of granting headroom —
+        # judging sensitivity against the first machine in fleet order
+        # (the D, where the tenant looks starved) would wrongly park it on
+        # the E5's spare ways.
+        d = make_fleet_machine("d")
+        e5 = FleetMachine(
+            name="e5",
+            machine=Machine(spec=SocketSpec.xeon_e5_2697v4(), seed=7),
+            manager=DCatManager(),
+        )
+        spec = self._spec("t", {"type": "mlr", "wss_mb": 8}, ways=4)
+        policy = SensitivityAwarePolicy()
+        chosen = policy.place(spec, self._workload(spec.workload), [d, e5])
+        assert chosen is d  # packed: fewest free ways among fitting machines
+        # D-only fleet: the would-be host is the D, where 4 MB of ways
+        # cannot hold 8 MB, so the tenant is sensitive and keeps headroom.
+        assert policy.place(spec, self._workload(spec.workload), [d]) is d
+
 
 class TestFleetMachine:
     def test_admit_pins_lowest_threads_and_reserves(self):
@@ -372,6 +408,36 @@ class TestSloAccounting:
         stats = acct.tenants["t"]
         assert stats.active_intervals == 0
         assert stats.violation_intervals == 0
+
+    def test_spans_merge_over_long_runs(self):
+        """Span adjacency must be judged at interval scale, not epsilon.
+
+        Past t ~ 1e7 with millisecond intervals, float64 cannot represent
+        successive interval starts to 1e-9, so an absolute-epsilon merge
+        test splits one contiguous violation into hundreds of spans.
+        """
+        t0 = 1.0e7
+        interval = 1e-3
+        acct = SloAccountant(interval_s=interval, tolerance=0.05)
+        acct.admitted("t", "m0", t0)
+        for i in range(300):
+            # Accumulated the way a long simulation produces timestamps.
+            acct.observe(
+                "t", t0 + i * interval, ipc=0.5, entitled_ipc=1.0, active=True
+            )
+        stats = acct.tenants["t"]
+        assert stats.violation_intervals == 300
+        assert len(stats.violation_spans) == 1
+        start, end = stats.violation_spans[0]
+        assert start == t0
+        assert end == pytest.approx(t0 + 300 * interval)
+
+    def test_distinct_violations_stay_separate_spans(self):
+        acct = SloAccountant(interval_s=1.0, tolerance=0.05)
+        acct.admitted("t", "m0", 0.0)
+        acct.observe("t", 0.0, ipc=0.5, entitled_ipc=1.0, active=True)
+        acct.observe("t", 5.0, ipc=0.5, entitled_ipc=1.0, active=True)
+        assert acct.tenants["t"].violation_spans == [(0.0, 1.0), (5.0, 6.0)]
 
     def test_fleet_summary_aggregates(self):
         acct = SloAccountant(interval_s=1.0, tolerance=0.0)

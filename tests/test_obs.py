@@ -107,6 +107,46 @@ class TestRegistry:
     def test_default_buckets_strictly_increase(self):
         assert list(DEFAULT_TIME_BUCKETS) == sorted(set(DEFAULT_TIME_BUCKETS))
 
+    def test_child_reads_without_creating(self):
+        r = MetricsRegistry()
+        c = r.counter("dcat_events_total", "help", labels=("event",))
+        c.labels(event="A").inc(2)
+        assert c.child(event="A").value == 2.0
+        # Absent children are reported as None, not materialized: exporting
+        # must not grow zero-count series just because someone peeked.
+        assert c.child(event="B") is None
+        c.labels(event="A")  # re-fetch does not disturb anything
+        assert [tuple(k) for k in c._children] == [("A",)]
+
+    def test_child_validates_label_names(self):
+        r = MetricsRegistry()
+        c = r.counter("dcat_events_total", "help", labels=("event",))
+        with pytest.raises(MetricError):
+            c.child(kind="A")
+        with pytest.raises(MetricError):
+            c.child()
+
+    def test_sum_value_reads_histogram_sum(self):
+        r = MetricsRegistry()
+        h = r.histogram(
+            "dcat_stage_seconds", "help", labels=("loop", "stage"),
+            buckets=(0.1, 1.0),
+        )
+        child = h.labels(loop="controller", stage="collect")
+        child.observe(0.25)
+        child.observe(0.5)
+        assert r.sum_value(
+            "dcat_stage_seconds", loop="controller", stage="collect"
+        ) == pytest.approx(0.75)
+        # Unset label combination: zero, and still not materialized.
+        assert r.sum_value("dcat_stage_seconds", loop="x", stage="y") == 0.0
+
+    def test_sum_value_rejects_non_histograms(self):
+        r = MetricsRegistry()
+        r.counter("dcat_events_total", "help").inc()
+        with pytest.raises(MetricError):
+            r.sum_value("dcat_events_total")
+
 
 class TestProfilerHook:
     def test_no_default_profiler_outside_context(self):

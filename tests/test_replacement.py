@@ -108,6 +108,109 @@ class TestRandom:
         ]
 
 
+class TestBatchContract:
+    """The bulk-touch / run-protocol surface the batch cache path relies on."""
+
+    def test_touch_many_matches_scalar_touches(self):
+        a = LruPolicy(num_sets=4, num_ways=4)
+        b = LruPolicy(num_sets=4, num_ways=4)
+        sets = [0, 3, 0, 2, 0, 3]
+        ways = [1, 2, 1, 0, 3, 2]  # includes duplicate (set, way) pairs
+        for s, w in zip(sets, ways):
+            a.touch(s, w)
+        b.touch_many(sets, ways)
+        assert np.array_equal(a._stamps, b._stamps)
+        assert a._clock == b._clock
+        # Victims agree afterwards too.
+        for s in range(4):
+            assert a.victim(s, FULL_4) == b.victim(s, FULL_4)
+
+    def test_touch_many_at_positions_within_batch(self):
+        a = LruPolicy(num_sets=2, num_ways=4)
+        b = LruPolicy(num_sets=2, num_ways=4)
+        for s, w in [(0, 2), (1, 1), (0, 0)]:
+            a.touch(s, w)
+        b.batch_begin(3)
+        # Same accesses delivered out of temporal order, with positions.
+        b.touch_many_at([0, 0, 1], [0, 2, 1], [2, 0, 1])
+        b.batch_end(3)
+        assert np.array_equal(a._stamps, b._stamps)
+        assert a._clock == b._clock
+
+    def test_stamp_run_state_contract(self):
+        lru = LruPolicy(num_sets=1, num_ways=4)
+        lru.touch(0, 0)
+        lru.touch(0, 1)
+        assert LruPolicy.stamp_run_state is True
+        lru.batch_begin(2)
+        assert lru.run_stamp_base == lru._clock == 2
+        # Run state is the plain per-way stamp list the base class documents.
+        ctx = lru.run_begin(0)
+        assert ctx == [1, 2, 0, 0]
+        # Inline touch semantics: ctx[way] = run_stamp_base + order + 1.
+        ctx[2] = lru.run_stamp_base + 0 + 1
+        lru.run_end(0, ctx)
+        lru.batch_end(2)
+        assert lru._clock == 4
+        assert lru.victim(0, FULL_4) == 3  # only never-touched way left
+
+    def test_invalidate_makes_way_oldest(self):
+        lru = LruPolicy(num_sets=2, num_ways=4)
+        for way in (0, 1, 2, 3):
+            lru.touch(0, way)
+        lru.invalidate(0, 3)
+        assert lru._stamps[0, 3] == 0
+        assert lru.victim(0, 0b1110) == 3  # beats way 1 despite the mask
+        plru = TreePlruPolicy(num_sets=1, num_ways=4)
+        for way in (0, 1, 2, 3):
+            plru.touch(0, way)
+        plru.invalidate(0, 2)
+        assert plru._ages[0, 2] == 0
+        # Tree bits survive invalidate (hardware keeps them); only the
+        # masked fallback consults ages, so force it with a mask that
+        # excludes the tree's choice.
+        choice = plru.victim(0, FULL_4)
+        mask = FULL_4 & ~(1 << choice)
+        if (mask >> 2) & 1:
+            assert plru.victim(0, mask) == 2
+
+    def test_base_hooks_are_safe_defaults(self):
+        policy = RandomPolicy(1, 4, rng=np.random.default_rng(3))
+        policy.invalidate(0, 1)  # no state to drop; must not raise
+        policy.touch_many([0, 0], [1, 2])
+        policy.touch_many_at([0], [3], [0])
+        policy.batch_begin(2)
+        ctx = policy.run_begin(0)
+        policy.run_touch(ctx, 1, 0)
+        assert policy.run_victim(ctx, [2, 3], 0b1100) in (2, 3)
+        policy.run_end(0, ctx)
+        policy.batch_end(2)
+        assert RandomPolicy.stamp_run_state is False
+
+    def test_default_run_victim_consumes_rng_in_order(self):
+        a = RandomPolicy(1, 8, rng=np.random.default_rng(11))
+        b = RandomPolicy(1, 8, rng=np.random.default_rng(11))
+        ctx = b.run_begin(0)
+        scalar = [a.victim(0, 0b11110000) for _ in range(8)]
+        run = [b.run_victim(ctx, [4, 5, 6, 7], 0b11110000) for _ in range(8)]
+        assert scalar == run
+
+    def test_plru_run_protocol_matches_scalar(self):
+        a = TreePlruPolicy(num_sets=1, num_ways=8)
+        b = TreePlruPolicy(num_sets=1, num_ways=8)
+        touches = [0, 5, 3, 3, 7, 1, 6, 2, 4, 0]
+        for way in touches:
+            a.touch(0, way)
+        victim_scalar = a.victim(0, 0b10101010)
+        ctx = b.run_begin(0)
+        for i, way in enumerate(touches):
+            b.run_touch(ctx, way, i)
+        assert b.run_victim(ctx, [1, 3, 5, 7], 0b10101010) == victim_scalar
+        b.run_end(0, ctx)
+        assert np.array_equal(a._bits, b._bits)
+        assert np.array_equal(a._ages, b._ages)
+
+
 class TestFactory:
     @pytest.mark.parametrize(
         "name,cls", [("lru", LruPolicy), ("plru", TreePlruPolicy), ("random", RandomPolicy)]
