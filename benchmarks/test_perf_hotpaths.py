@@ -21,6 +21,9 @@ from repro.obs.bench import (
     _bench_mask_pack,
     _bench_setassoc,
     _bench_setassoc_scalar,
+    _bench_sim_step_analytical,
+    _bench_sim_step_exact,
+    _bench_sim_step_mixed,
     _bench_sim_step_null_bus,
     _bench_sim_step_ring_bus,
 )
@@ -34,6 +37,9 @@ _CEILINGS_S = {
     "controller_step": 0.25,
     "sim_step_null_bus": 0.25,
     "sim_step_ring_bus": 0.25,
+    "sim_step_analytical": 0.25,
+    "sim_step_exact": 2.0,
+    "sim_step_mixed": 2.0,
     "event_emit": 1e-3,
     "mask_pack": 1e-3,
 }
@@ -45,6 +51,9 @@ _CASES = [
     ("controller_step", _bench_controller_step, 3),
     ("sim_step_null_bus", _bench_sim_step_null_bus, 3),
     ("sim_step_ring_bus", _bench_sim_step_ring_bus, 3),
+    ("sim_step_analytical", _bench_sim_step_analytical, 3),
+    ("sim_step_exact", _bench_sim_step_exact, 2),
+    ("sim_step_mixed", _bench_sim_step_mixed, 2),
     ("event_emit", _bench_event_emit, 500),
     ("mask_pack", _bench_mask_pack, 200),
 ]

@@ -114,6 +114,9 @@ class FleetMachine:
         fault_plan: Optional :class:`~repro.faults.plan.FaultPlan` to
             inject on this host's control loop (dcat managers only); give
             each machine its own derived seed so schedules differ.
+        substrate: Optional :class:`~repro.platform.substrate.CacheSubstrate`
+            for this host's simulation (one instance per machine); defaults
+            to the process default fidelity.
     """
 
     def __init__(
@@ -124,13 +127,14 @@ class FleetMachine:
         bus: Optional[EventBus] = None,
         vcpus_per_vm: int = 2,
         fault_plan=None,
+        substrate=None,
     ) -> None:
         if vcpus_per_vm < 1:
             raise ValueError("vcpus_per_vm must be >= 1")
         self.name = name
         self.machine = machine
         self.vcpus_per_vm = vcpus_per_vm
-        self.sim = CloudSimulation(machine, [], manager, bus=bus)
+        self.sim = CloudSimulation(machine, [], manager, bus=bus, substrate=substrate)
         self.injector = None
         if fault_plan is not None:
             # Imported lazily: fault injection is opt-in per scenario.

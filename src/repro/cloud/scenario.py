@@ -54,6 +54,8 @@ from repro.harness.scenario_file import (
     ScenarioError,
     build_manager,
     build_workload,
+    parse_fidelity,
+    substrate_from_spec,
     workload_kinds,
 )
 from repro.platform.machine import Machine
@@ -204,8 +206,17 @@ def _parse_poisson(spec: Any, duration_s: float) -> List[TenantSpec]:
 
 def load_churn_scenario(
     source: Union[str, Path, Dict[str, Any]],
+    fidelity: Optional[str] = None,
 ) -> Tuple[CloudFleet, float]:
     """Parse a churn scenario (dict, JSON string, or file path).
+
+    A top-level ``fidelity`` field (string or ``{"mode": ..., **options}``
+    object, see :func:`repro.harness.scenario_file.parse_fidelity`) selects
+    the cache substrate for every machine; each host gets its own substrate
+    instance under a seed derived from the substrate seed and the machine
+    name, so exact tag-array streams differ per host but the run stays
+    deterministic.  The ``fidelity`` argument (the CLI's ``--fidelity``)
+    overrides the file's field.
 
     Returns:
         ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
@@ -284,6 +295,16 @@ def load_churn_scenario(
         except FaultPlanError as exc:
             raise ChurnScenarioError(f"faults: {exc}") from None
 
+    try:
+        if fidelity is not None:
+            fidelity_spec = parse_fidelity({"fidelity": fidelity}, ctx="--fidelity")
+        else:
+            fidelity_spec = parse_fidelity(data)
+    except ChurnScenarioError:
+        raise
+    except ScenarioError as exc:
+        raise ChurnScenarioError(str(exc)) from None
+
     manager_spec = data.get("manager", {"type": "dcat"})
     from repro.harness.scenario_file import _SOCKETS as SOCKET_FACTORIES
 
@@ -307,6 +328,12 @@ def load_churn_scenario(
                 seed=derive_seed(fleet_plan.seed, name),
                 rules=fleet_plan.rules,
             )
+        machine_fidelity = dict(fidelity_spec)
+        if machine_fidelity["mode"] != "analytical":
+            # Per-host substrate seed: streams differ per machine, runs
+            # stay deterministic.
+            base = int(machine_fidelity.get("seed", 2024))
+            machine_fidelity["seed"] = derive_seed(base, name)
         try:
             fleet_machine = FleetMachine(
                 name=name,
@@ -314,6 +341,7 @@ def load_churn_scenario(
                 manager=manager,
                 vcpus_per_vm=vcpus_per_vm,
                 fault_plan=machine_plan,
+                substrate=substrate_from_spec(machine_fidelity),
             )
         except ValueError as exc:
             raise ChurnScenarioError(f"faults: {exc}") from None
@@ -331,6 +359,8 @@ def load_churn_scenario(
 def run_churn_scenario(
     source: Union[str, Path, Dict[str, Any]],
     metrics: Optional[str] = None,
+    trace: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ) -> FleetResult:
     """Load and run a churn scenario end to end.
 
@@ -340,23 +370,38 @@ def run_churn_scenario(
             plus a ``.json`` sibling): per-stage timings across every
             machine's loops, tenant lifecycle counters and per-tenant SLO
             ledgers.  The returned result is identical either way.
+        trace: Optional path for a JSONL event trace of the fleet run
+            (includes any ``FidelityDivergence`` stream from mixed mode).
+        fidelity: Optional fidelity override (``--fidelity``); wins over
+            the scenario file's own ``fidelity`` field.
     """
-    if metrics is None:
-        fleet, duration_s = load_churn_scenario(source)
+    if metrics is None and trace is None:
+        fleet, duration_s = load_churn_scenario(source, fidelity=fidelity)
         return fleet.run(duration_s)
 
-    from repro.engine.events import EventBus, use_bus
+    from contextlib import ExitStack
+
+    from repro.engine.events import EventBus, JsonlTraceWriter, use_bus
     from repro.engine.pipeline import use_profiler
     from repro.obs.collectors import BusMetricsCollector, record_slo_stats
     from repro.obs.export import write_metrics
     from repro.obs.profiler import StageProfiler
 
-    profiler = StageProfiler()
     bus = EventBus()
-    BusMetricsCollector(registry=profiler.registry, bus=bus)
-    with use_bus(bus), use_profiler(profiler):
-        fleet, duration_s = load_churn_scenario(source)
+    profiler: Optional[StageProfiler] = None
+    if metrics is not None:
+        profiler = StageProfiler()
+        BusMetricsCollector(registry=profiler.registry, bus=bus)
+    with ExitStack() as stack:
+        if trace is not None:
+            writer = stack.enter_context(JsonlTraceWriter(trace))
+            bus.subscribe(writer)
+        stack.enter_context(use_bus(bus))
+        if profiler is not None:
+            stack.enter_context(use_profiler(profiler))
+        fleet, duration_s = load_churn_scenario(source, fidelity=fidelity)
         result = fleet.run(duration_s)
-    record_slo_stats(profiler.registry, result.tenants)
-    write_metrics(profiler.registry, metrics)
+    if profiler is not None and metrics is not None:
+        record_slo_stats(profiler.registry, result.tenants)
+        write_metrics(profiler.registry, metrics)
     return result

@@ -50,6 +50,7 @@ __all__ = [
     "MasksProgrammed",
     "FaultInjected",
     "FaultRecovered",
+    "FidelityDivergence",
     "InvariantViolated",
     "SloViolated",
     "IntervalFinished",
@@ -227,6 +228,23 @@ class FaultRecovered(Event):
     target: str
     action: str
     attempts: int
+
+
+@dataclass(frozen=True)
+class FidelityDivergence(Event):
+    """The mixed-fidelity oracle caught the analytical model drifting.
+
+    Emitted by :class:`~repro.platform.substrate.MixedSubstrate` when a
+    sampled interval's exact tag-array replay disagrees with the analytical
+    hit rate by more than ``tolerance``.  Like :class:`InvariantViolated`,
+    a healthy configuration emits none: the fidelity smoke job treats any
+    occurrence as a failed model guarantee.
+    """
+
+    workload_id: str
+    analytical: float
+    exact: float
+    tolerance: float
 
 
 @dataclass(frozen=True)

@@ -29,11 +29,23 @@ def derive_seed(seed: int, experiment_id: str) -> int:
     return (seed ^ zlib.crc32(experiment_id.encode("utf-8"))) & 0x7FFFFFFF
 
 
-def _run_one(experiment_id: str, seed: int) -> "ExperimentResult":
-    """Worker entry point: run one experiment under its derived seed."""
+def _run_one(
+    experiment_id: str, seed: int, fidelity: Optional[str] = None
+) -> "ExperimentResult":
+    """Worker entry point: run one experiment under its derived seed.
+
+    ``fidelity`` installs the process-default cache substrate for the
+    experiment's simulations; applied here (not in the parent) so it also
+    takes effect inside process-pool workers.
+    """
     from repro.harness.registry import run_experiment
 
-    return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
+    if fidelity is None:
+        return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
+    from repro.platform.substrate import use_fidelity
+
+    with use_fidelity(fidelity):
+        return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
 
 
 def run_experiments(
@@ -42,6 +54,7 @@ def run_experiments(
     seed: int = 1234,
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ) -> "List[ExperimentResult]":
     """Run experiments serially (``jobs <= 1``) or across a process pool.
 
@@ -56,6 +69,9 @@ def run_experiments(
             bus collector observe the whole run and the registry is written
             there as Prometheus text plus a ``.json`` sibling.  Reports are
             unchanged: telemetry goes to the files, not into the results.
+        fidelity: Optional cache-substrate fidelity (``analytical`` /
+            ``exact`` / ``mixed``) installed as the process default around
+            each experiment, in workers too.
 
     Returns:
         Results in the order of ``ids``, identical for any ``jobs`` value.
@@ -82,13 +98,24 @@ def run_experiments(
     if metrics_path is not None and jobs > 1:
         raise ValueError("--metrics requires a serial run (jobs=1)")
 
+    if fidelity is not None:
+        from repro.platform.substrate import FIDELITIES
+
+        if fidelity not in FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; use one of {list(FIDELITIES)}"
+            )
+
     if jobs <= 1 or len(ids) <= 1:
         if trace_path is not None or metrics_path is not None:
-            return _run_observed(ids, seed, trace_path, metrics_path)
-        return [_run_one(experiment_id, seed) for experiment_id in ids]
+            return _run_observed(ids, seed, trace_path, metrics_path, fidelity)
+        return [_run_one(experiment_id, seed, fidelity) for experiment_id in ids]
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
-        futures = [pool.submit(_run_one, experiment_id, seed) for experiment_id in ids]
+        futures = [
+            pool.submit(_run_one, experiment_id, seed, fidelity)
+            for experiment_id in ids
+        ]
         return [f.result() for f in futures]
 
 
@@ -97,6 +124,7 @@ def _run_observed(
     seed: int,
     trace_path: Optional[str],
     metrics_path: Optional[str],
+    fidelity: Optional[str] = None,
 ) -> "List[ExperimentResult]":
     """Serial run under observation: JSONL trace and/or metrics snapshot.
 
@@ -139,7 +167,7 @@ def _run_observed(
             if collector is not None:
                 bus.subscribe(collector.on_event)
             with use_bus(bus):
-                result = _run_one(experiment_id, seed)
+                result = _run_one(experiment_id, seed, fidelity)
             if metrics is not None and metrics.counters:
                 for line in render_metrics(metrics).splitlines():
                     result.note(line)

@@ -216,6 +216,7 @@ def run_chaos(
     source: Union[str, Path, Dict[str, Any]],
     trace: Optional[str] = None,
     metrics: Optional[str] = None,
+    fidelity: Optional[str] = None,
 ) -> ChaosReport:
     """Run a chaos scenario end to end and report guarantee retention.
 
@@ -230,6 +231,8 @@ def run_chaos(
             histograms — the spliced ``inject_faults`` stage included —
             fault/recovery counters and per-invariant violation counts.
             The report itself is unaffected.
+        fidelity: Optional fidelity override (``--fidelity``); wins over
+            the scenario's own ``fidelity`` field.
 
     Raises:
         ScenarioError: On malformed scenario fields.
@@ -238,7 +241,12 @@ def run_chaos(
     from contextlib import ExitStack
 
     from repro.cat.pqos import PqosError
-    from repro.harness.scenario_file import ScenarioError, load_scenario
+    from repro.harness.scenario_file import (
+        ScenarioError,
+        load_scenario,
+        parse_fidelity,
+        substrate_from_spec,
+    )
     from repro.hwcounters.msr import CounterReadError
     from repro.platform.managers import DCatManager
     from repro.platform.sim import CloudSimulation
@@ -248,9 +256,9 @@ def run_chaos(
     plan = FaultPlan.from_spec(data.get("faults", {"seed": 0}))
     patience = int(data.get("patience", 5))
     scenario = {k: v for k, v in data.items() if k not in _CHAOS_KEYS}
-    if scenario.get("exact"):
-        raise ScenarioError("chaos scenarios do not support exact mode")
-    machine, vms, manager, duration_s, _ = load_scenario(scenario)
+    machine, vms, manager, duration_s, fidelity_spec = load_scenario(scenario)
+    if fidelity is not None:
+        fidelity_spec = parse_fidelity({"fidelity": fidelity}, ctx="--fidelity")
     if not isinstance(manager, DCatManager):
         raise ScenarioError(
             "chaos runs need a dcat manager (faults target its control loop)"
@@ -282,7 +290,13 @@ def run_chaos(
                 # Installed before construction so both interval loops (and
                 # the inject_faults stage spliced below) capture it.
                 stack.enter_context(use_profiler(profiler))
-            sim = CloudSimulation(machine, vms, manager, bus=bus)
+            sim = CloudSimulation(
+                machine,
+                vms,
+                manager,
+                bus=bus,
+                substrate=substrate_from_spec(fidelity_spec),
+            )
             controller = manager.controller
             assert controller is not None
             injector = FaultInjector(plan).install(controller)

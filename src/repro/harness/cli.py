@@ -11,13 +11,17 @@ Usage::
     dcat-experiment churn my_churn.json [--metrics churn.prom]
     dcat-experiment chaos examples/chaos.json [--trace chaos.jsonl] [--json]
     dcat-experiment run fig10 --metrics out.prom
+    dcat-experiment run fig17 --fidelity mixed
     dcat-experiment bench [--quick] [--out BENCH_controller.json]
 
 ``--metrics PATH`` writes a telemetry snapshot of the run — per-stage
 timing histograms and controller/cloud gauges — as Prometheus text at
 ``PATH`` plus a JSON twin at ``PATH.json``, leaving the printed reports
-untouched.  ``bench`` times the hot paths and writes the ``dcat-bench/v1``
-payload that seeds the repo's perf trajectory.
+untouched.  ``--fidelity analytical|exact|mixed`` selects the cache
+substrate for run/scenario/churn/chaos (see
+:mod:`repro.platform.substrate`).  ``bench`` times the hot paths and
+writes the ``dcat-bench/v1`` payload that seeds the repo's perf
+trajectory.
 """
 
 from __future__ import annotations
@@ -63,6 +67,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write Prometheus text + JSON telemetry (forces a serial run)",
     )
+    _add_fidelity_flag(run)
     scenario = sub.add_parser(
         "scenario", help="run a JSON scenario file (see repro.harness.scenario_file)"
     )
@@ -73,6 +78,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="VM(s) to print timelines for (default: all)",
     )
+    _add_fidelity_flag(scenario)
     churn = sub.add_parser(
         "churn",
         help="run a JSON churn scenario over a machine fleet (see repro.cloud.scenario)",
@@ -84,6 +90,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write Prometheus text + JSON telemetry for the fleet run",
     )
+    churn.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace of the fleet run",
+    )
+    _add_fidelity_flag(churn)
     chaos = sub.add_parser(
         "chaos",
         help="run a fault-injection scenario and report guarantee retention "
@@ -107,6 +120,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the report as JSON instead of text",
     )
+    _add_fidelity_flag(chaos)
     bench = sub.add_parser(
         "bench",
         help="time the hot paths and write a dcat-bench/v1 JSON payload",
@@ -125,8 +139,38 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_fidelity_flag(parser: argparse.ArgumentParser) -> None:
+    # Validated manually in main() (not with argparse choices=) so invalid
+    # values follow the scenario error contract: stderr message + exit 2.
+    parser.add_argument(
+        "--fidelity",
+        metavar="MODE",
+        default=None,
+        help="cache substrate: analytical (fast closed forms, the default), "
+        "exact (tag-array measurement), or mixed (analytical plus exact "
+        "spot checks that emit FidelityDivergence)",
+    )
+
+
+def _check_fidelity(args) -> Optional[str]:
+    """Field-contextual validation for --fidelity; returns an error or None."""
+    from repro.platform.substrate import FIDELITIES
+
+    fidelity = getattr(args, "fidelity", None)
+    if fidelity is not None and fidelity not in FIDELITIES:
+        return (
+            f"--fidelity: unknown fidelity {fidelity!r}; "
+            f"use one of {list(FIDELITIES)}"
+        )
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    error = _check_fidelity(args)
+    if error is not None:
+        print(error, file=sys.stderr)
+        return 2
     if args.command == "scenario":
         return _run_scenario(args)
     if args.command == "churn":
@@ -153,6 +197,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             trace_path=args.trace,
             metrics_path=args.metrics,
+            fidelity=args.fidelity,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -173,7 +218,7 @@ def _run_scenario(args) -> int:
     from repro.harness.scenario_file import ScenarioError, run_scenario_file
 
     try:
-        result = run_scenario_file(args.path)
+        result = run_scenario_file(args.path, fidelity=args.fidelity)
     except ScenarioError as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
@@ -200,7 +245,12 @@ def _run_chaos(args) -> int:
     from repro.harness.scenario_file import ScenarioError
 
     try:
-        report = run_chaos(args.path, trace=args.trace, metrics=args.metrics)
+        report = run_chaos(
+            args.path,
+            trace=args.trace,
+            metrics=args.metrics,
+            fidelity=args.fidelity,
+        )
     except (ScenarioError, FaultPlanError) as exc:
         print(f"chaos scenario error: {exc}", file=sys.stderr)
         return 2
@@ -236,7 +286,12 @@ def _run_churn(args) -> int:
     try:
         from repro.cloud.scenario import run_churn_scenario
 
-        result = run_churn_scenario(args.path, metrics=args.metrics)
+        result = run_churn_scenario(
+            args.path,
+            metrics=args.metrics,
+            trace=args.trace,
+            fidelity=args.fidelity,
+        )
     except ScenarioError as exc:
         print(f"churn scenario error: {exc}", file=sys.stderr)
         return 2

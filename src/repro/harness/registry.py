@@ -25,6 +25,7 @@ from repro.harness.experiments.cloud import (
     run_cloud_churn_poisson,
     run_cloud_churn_scripted,
 )
+from repro.harness.experiments.fidelity import run_fidelity_validation
 from repro.harness.experiments.micro import run_fig1, run_fig2, run_fig3, run_fig5
 from repro.harness.experiments.params import run_fig8, run_fig9
 from repro.harness.experiments.spec2006 import run_fig17, run_tab3
@@ -75,6 +76,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "cloud_churn_scripted": run_cloud_churn_scripted,
     "chaos_guarantee": run_chaos_guarantee,
     "chaos_hardening_ablation": run_chaos_hardening_ablation,
+    "fidelity_validation": run_fidelity_validation,
     "ablation_perftable": run_ablation_perftable,
     "ablation_priority": run_ablation_priority,
     "ablation_policy": run_ablation_policy,
@@ -89,6 +91,7 @@ EXPERIMENTS: Dict[str, Runner] = {
 SMOKE_KWARGS: Dict[str, Dict[str, object]] = {
     "fig17": {"benchmarks": ["mcf"], "instructions": 2_000_000},
     "tab3": {"benchmarks": ["mcf"], "instructions": 2_000_000},
+    "fidelity_validation": {"duration_s": 8.0, "accesses_per_interval": 30_000},
 }
 
 

@@ -28,12 +28,11 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Union
+from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.core.config import AllocationPolicy, DCatConfig
 from repro.cpu.socket import SocketSpec
 from repro.mem.address import MB
-from repro.platform.exact import ExactCloudSimulation
 from repro.platform.machine import Machine
 from repro.platform.managers import (
     CacheManager,
@@ -42,6 +41,7 @@ from repro.platform.managers import (
     StaticCatManager,
 )
 from repro.platform.sim import CloudSimulation, SimulationResult
+from repro.platform.substrate import FIDELITIES, CacheSubstrate, build_substrate
 from repro.platform.vm import VirtualMachine, pin_vms
 from repro.workloads.base import Workload
 from repro.workloads.database import PostgresWorkload
@@ -57,7 +57,9 @@ __all__ = [
     "build_manager",
     "build_workload",
     "load_scenario",
+    "parse_fidelity",
     "run_scenario_file",
+    "substrate_from_spec",
     "workload_kinds",
 ]
 
@@ -188,11 +190,66 @@ def build_manager(spec: Dict[str, Any]) -> CacheManager:
     return DCatManager(config=config)
 
 
+def parse_fidelity(data: Dict[str, Any], ctx: str = "fidelity") -> Dict[str, Any]:
+    """Normalize a scenario's fidelity into ``{"mode": ..., **options}``.
+
+    Accepts a plain string (``"fidelity": "mixed"``) or an object with a
+    ``mode`` plus substrate options (``{"mode": "mixed", "sample_rate":
+    0.5, "tolerance": 0.15}``).  The legacy boolean ``"exact": true`` flag
+    maps to ``{"mode": "exact"}``; combining it with ``fidelity`` is an
+    error.  Every problem is reported with its field path under ``ctx``.
+
+    Raises:
+        ScenarioError: Naming the offending field.
+    """
+    if "fidelity" not in data:
+        mode = "exact" if data.get("exact") else "analytical"
+        return {"mode": mode}
+    if "exact" in data:
+        raise ScenarioError(
+            f"{ctx}: cannot combine the legacy 'exact' flag with 'fidelity'; "
+            "drop 'exact'"
+        )
+    raw = data["fidelity"]
+    if isinstance(raw, str):
+        spec: Dict[str, Any] = {"mode": raw}
+    elif isinstance(raw, dict):
+        spec = dict(raw)
+        if "mode" not in spec:
+            raise ScenarioError(
+                f"{ctx}.mode: missing required field; use one of {list(FIDELITIES)}"
+            )
+    else:
+        raise ScenarioError(
+            f"{ctx}: expected a string or an object, got {type(raw).__name__}"
+        )
+    mode = spec["mode"]
+    if mode not in FIDELITIES:
+        raise ScenarioError(
+            f"{ctx}.mode: unknown fidelity {mode!r}; use one of {list(FIDELITIES)}"
+        )
+    try:
+        # Validate option names and values eagerly, with field context.
+        build_substrate(mode, **{k: v for k, v in spec.items() if k != "mode"})
+    except (TypeError, ValueError) as exc:
+        raise ScenarioError(f"{ctx}: {exc}") from None
+    return spec
+
+
+def substrate_from_spec(spec: Dict[str, Any]) -> CacheSubstrate:
+    """Build a fresh substrate from a normalized fidelity spec."""
+    return build_substrate(
+        spec["mode"], **{k: v for k, v in spec.items() if k != "mode"}
+    )
+
+
 def load_scenario(source: Union[str, Path, Dict[str, Any]]):
     """Parse a scenario (dict, JSON string, or file path) into build parts.
 
     Returns:
-        ``(machine, vms, manager, duration_s, exact_mode)``.
+        ``(machine, vms, manager, duration_s, fidelity_spec)`` — the last
+        element is a normalized ``{"mode": ..., **options}`` dict (see
+        :func:`parse_fidelity`).
 
     Raises:
         ScenarioError: On any malformed field, naming it.
@@ -259,17 +316,25 @@ def load_scenario(source: Union[str, Path, Dict[str, Any]]):
     duration = float(data.get("duration_s", 30.0))
     if duration <= 0:
         raise ScenarioError("duration_s must be positive")
-    exact = bool(data.get("exact", False))
-    return machine, vms, manager, duration, exact
+    fidelity = parse_fidelity(data)
+    return machine, vms, manager, duration, fidelity
 
 
 def run_scenario_file(
-    source: Union[str, Path, Dict[str, Any]]
+    source: Union[str, Path, Dict[str, Any]],
+    fidelity: Optional[str] = None,
 ) -> SimulationResult:
-    """Build and run a scenario; returns the simulation result."""
-    machine, vms, manager, duration, exact = load_scenario(source)
-    if exact:
-        sim: CloudSimulation = ExactCloudSimulation(machine, vms, manager)
-    else:
-        sim = CloudSimulation(machine, vms, manager)
+    """Build and run a scenario; returns the simulation result.
+
+    Args:
+        source: Scenario dict, JSON string, or file path.
+        fidelity: Optional fidelity override (``--fidelity``); wins over
+            the scenario file's own ``fidelity`` / ``exact`` fields.
+    """
+    machine, vms, manager, duration, spec = load_scenario(source)
+    if fidelity is not None:
+        spec = parse_fidelity({"fidelity": fidelity}, ctx="--fidelity")
+    sim = CloudSimulation(
+        machine, vms, manager, substrate=substrate_from_spec(spec)
+    )
     return sim.run(duration)

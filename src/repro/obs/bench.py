@@ -175,6 +175,51 @@ def _bench_sim_step_ring_bus(quick: bool) -> Callable[[], None]:
     return sim.step
 
 
+def _warm_fidelity_stage(fidelity: str, seed: int, warmup_s: float):
+    """A warm stage running on the named cache substrate (see substrate.py).
+
+    The exact/mixed legs use a modest trace budget (20k accesses/interval)
+    so the full-mode bench stays tractable while still timing the real
+    generate → interleave → measure pipeline.
+    """
+    from repro.harness.scenarios import build_stage, paper_machine
+    from repro.mem.address import MB
+    from repro.platform.managers import DCatManager
+    from repro.platform.sim import CloudSimulation
+    from repro.platform.substrate import build_substrate
+    from repro.workloads.mlr import MlrWorkload
+
+    options = {}
+    if fidelity in ("exact", "mixed"):
+        options = {"accesses_per_interval": 20_000, "seed": seed}
+    if fidelity == "mixed":
+        options["sample_rate"] = 1.0  # every interval spot-checks: worst case
+    machine = paper_machine(seed=seed)
+    vms = build_stage(
+        machine,
+        [MlrWorkload(8 * MB, start_delay_s=1.0, name="target")],
+        baseline_ways=3,
+        n_lookbusy=5,
+    )
+    sim = CloudSimulation(
+        machine, vms, DCatManager(), substrate=build_substrate(fidelity, **options)
+    )
+    sim.run(warmup_s)
+    return sim
+
+
+def _bench_sim_step_analytical(quick: bool) -> Callable[[], None]:
+    return _warm_fidelity_stage("analytical", seed=7, warmup_s=2.0 if quick else 5.0).step
+
+
+def _bench_sim_step_exact(quick: bool) -> Callable[[], None]:
+    return _warm_fidelity_stage("exact", seed=7, warmup_s=2.0 if quick else 5.0).step
+
+
+def _bench_sim_step_mixed(quick: bool) -> Callable[[], None]:
+    return _warm_fidelity_stage("mixed", seed=7, warmup_s=2.0 if quick else 5.0).step
+
+
 def _bench_event_emit(quick: bool) -> Callable[[], None]:
     from repro.engine.events import EventBus, SampleCollected
 
@@ -234,6 +279,15 @@ _BENCHMARKS: List[Dict[str, Any]] = [
     {"name": "sim_step_ring_bus", "build": _bench_sim_step_ring_bus,
      "iterations": (5, 20), "repeats": (3, 5),
      "note": "one simulation interval with a ring-buffer recorder subscribed"},
+    {"name": "sim_step_analytical", "build": _bench_sim_step_analytical,
+     "iterations": (5, 20), "repeats": (3, 5),
+     "note": "one interval on the analytical substrate (closed-form hit rates)"},
+    {"name": "sim_step_exact", "build": _bench_sim_step_exact,
+     "iterations": (3, 10), "repeats": (3, 5),
+     "note": "one interval on the exact substrate (20k-access tag-array replay)"},
+    {"name": "sim_step_mixed", "build": _bench_sim_step_mixed,
+     "iterations": (3, 10), "repeats": (3, 5),
+     "note": "one interval on the mixed substrate, oracle sampling every interval"},
     {"name": "event_emit", "build": _bench_event_emit,
      "iterations": (5_000, 50_000), "repeats": (3, 5),
      "note": "Event.fast construction + single-subscriber emit"},

@@ -23,6 +23,7 @@ from repro.engine.events import (
     EventBus,
     FaultInjected,
     FaultRecovered,
+    FidelityDivergence,
     IntervalFinished,
     InvariantViolated,
     SampleCollected,
@@ -114,6 +115,12 @@ class BusMetricsCollector:
             "Online invariant-checker violations, by invariant.",
             labels=("invariant",),
         )
+        self._divergences = r.counter(
+            "dcat_fidelity_divergences_total",
+            "Mixed-fidelity spot checks where analytical and exact hit "
+            "rates diverged past tolerance, by workload.",
+            labels=("workload",),
+        )
         self._tenants = r.counter(
             "dcat_tenant_lifecycle_total",
             "Cloud tenant lifecycle transitions (admitted/rejected/departed).",
@@ -179,6 +186,8 @@ class BusMetricsCollector:
             self._recoveries.labels(action=event.action).inc()
         elif isinstance(event, InvariantViolated):
             self._violations.labels(invariant=event.invariant).inc()
+        elif isinstance(event, FidelityDivergence):
+            self._divergences.labels(workload=event.workload_id).inc()
         elif isinstance(event, TenantAdmitted):
             self._tenants.labels(action="admitted").inc()
         elif isinstance(event, TenantRejected):

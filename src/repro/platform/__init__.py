@@ -9,6 +9,17 @@ from repro.platform.managers import (
     StaticCatManager,
 )
 from repro.platform.sim import CloudSimulation, SimulationResult, VmIntervalRecord
+from repro.platform.substrate import (
+    FIDELITIES,
+    AnalyticalSubstrate,
+    CacheSubstrate,
+    ExactSubstrate,
+    MixedSubstrate,
+    build_substrate,
+    get_default_fidelity,
+    set_default_fidelity,
+    use_fidelity,
+)
 from repro.platform.vm import VirtualMachine, pin_vms
 
 __all__ = [
@@ -21,6 +32,15 @@ __all__ = [
     "CloudSimulation",
     "SimulationResult",
     "VmIntervalRecord",
+    "FIDELITIES",
+    "CacheSubstrate",
+    "AnalyticalSubstrate",
+    "ExactSubstrate",
+    "MixedSubstrate",
+    "build_substrate",
+    "get_default_fidelity",
+    "set_default_fidelity",
+    "use_fidelity",
     "VirtualMachine",
     "pin_vms",
 ]

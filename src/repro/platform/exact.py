@@ -1,18 +1,11 @@
 """Exact platform mode: the controller against a real tag-array LLC.
 
-:class:`ExactCloudSimulation` replaces the analytic hit-rate oracle with
-measurement: each interval it generates a sampled access trace per VM (real
-physical addresses through each VM's page table), interleaves the VMs'
-traces in proportion to their reference rates, and drives them through one
-shared :class:`~repro.cache.setassoc.SetAssociativeCache` under the current
-CAT masks.  The measured per-VM hit rates then feed the same core timing
-models, counters, and controller as the fast mode.
-
-This is the reproduction's end-to-end validation vehicle: the fast mode's
-closed forms are unit-validated against the exact cache, and this module
-lets whole experiments (controller included) be cross-checked — see
-``tests/test_exact_platform.py``.  It is 10-100x slower than the fast mode,
-so the figure/table benches use the fast mode.
+:class:`ExactCloudSimulation` is a thin compatibility shim over
+:class:`~repro.platform.sim.CloudSimulation` with an
+:class:`~repro.platform.substrate.ExactSubstrate` injected — the substrate
+owns all trace generation, interleaving and tag-array measurement.  New
+code should inject the substrate (or pass ``--fidelity exact``) instead of
+using this subclass.
 
 Differences from real hardware that remain: accesses are sampled (counter
 magnitudes are scaled, rates preserved), and chunked round-robin
@@ -21,20 +14,15 @@ interleaving stands in for cycle-accurate arbitration.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-import numpy as np
-
-from repro.cache.analytical import AccessPattern
 from repro.cache.setassoc import SetAssociativeCache
 from repro.engine.events import EventBus
-from repro.mem.paging import PageTable
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
 from repro.platform.sim import CloudSimulation
+from repro.platform.substrate import ExactSubstrate
 from repro.platform.vm import VirtualMachine
-from repro.workloads.base import Phase
-from repro.workloads.trace import TraceGenerator
 
 __all__ = ["ExactCloudSimulation"]
 
@@ -66,137 +54,22 @@ class ExactCloudSimulation(CloudSimulation):
         bus: Optional["EventBus"] = None,
         llc_policy: str = "lru",
     ) -> None:
-        super().__init__(machine, vms, manager, bus=bus)
-        if accesses_per_interval < 1:
-            raise ValueError("accesses_per_interval must be positive")
-        self.accesses_per_interval = accesses_per_interval
-        self.interleave_chunks = max(1, interleave_chunks)
-        self.llc = SetAssociativeCache(machine.spec.llc, policy=llc_policy)
-        master = np.random.default_rng(seed)
-        self._tables: Dict[str, PageTable] = {
-            vm.name: PageTable(rng=np.random.default_rng(master.integers(0, 2**63)))
-            for vm in vms
-        }
-        self._trace_rng: Dict[str, np.random.Generator] = {
-            vm.name: np.random.default_rng(master.integers(0, 2**63)) for vm in vms
-        }
-        self._generators: Dict[Tuple[str, str], TraceGenerator] = {}
-        self._cos_of: Dict[str, int] = {
-            vm.name: i + 1 for i, vm in enumerate(vms)
-        }
-        # Previous-interval IPC estimates seed the reference-rate split.
-        self._ipc_estimate: Dict[str, float] = {vm.name: 0.3 for vm in vms}
+        super().__init__(
+            machine,
+            vms,
+            manager,
+            bus=bus,
+            substrate=ExactSubstrate(
+                accesses_per_interval=accesses_per_interval,
+                interleave_chunks=interleave_chunks,
+                seed=seed,
+                llc_policy=llc_policy,
+            ),
+        )
 
-    # -- trace plumbing ---------------------------------------------------------
-
-    def _generator_for(self, vm_name: str, phase: Phase) -> TraceGenerator:
-        key = (vm_name, phase.name)
-        gen = self._generators.get(key)
-        if gen is None:
-            gen = TraceGenerator(
-                phase.footprint,
-                self._tables[vm_name],
-                rng=self._trace_rng[vm_name],
-                line_size=self.machine.spec.llc.line_size,
-            )
-            self._generators[key] = gen
-        return gen
-
-    def _reference_budget(
-        self, phases: Dict[str, Optional[Phase]]
-    ) -> Dict[str, int]:
-        """Split the interval's access budget by relative LLC demand."""
-        demands: Dict[str, float] = {}
-        for vm in self.vms:
-            phase = phases[vm.name]
-            if phase is None or phase.pattern is AccessPattern.NONE:
-                continue
-            b = phase.behavior
-            if b.l1_miss_ratio <= 0 or phase.wss_bytes <= 0:
-                continue
-            instr_rate = self._ipc_estimate[vm.name] * len(vm.busy_vcpus)
-            demands[vm.name] = (
-                b.refs_per_instr * b.l1_miss_ratio * b.duty_cycle * instr_rate
-            )
-        total = sum(demands.values())
-        if total <= 0:
-            return {}
-        return {
-            name: max(1, int(self.accesses_per_interval * d / total))
-            for name, d in demands.items()
-        }
-
-    # -- measurement ----------------------------------------------------------
-
-    def _resolve_hit_rates(
-        self, phases: Dict[str, Optional[Phase]]
-    ) -> Tuple[Dict[str, float], Dict[str, float]]:
-        machine = self.machine
-        budgets = self._reference_budget(phases)
-
-        # Pre-generate every VM's trace, then drive the cache in chunked
-        # round-robin so co-runners contend the way concurrent cores do.
-        traces: Dict[str, np.ndarray] = {
-            name: self._generator_for(name, phases[name]).generate(count)
-            for name, count in budgets.items()
-        }
-        hits: Dict[str, int] = {name: 0 for name in traces}
-        measured: Dict[str, int] = {name: 0 for name in traces}
-        chunks: List[Tuple[str, int, np.ndarray]] = []
-        for name, trace in traces.items():
-            for ci, part in enumerate(np.array_split(trace, self.interleave_chunks)):
-                if part.size:
-                    chunks.append((name, ci, part))
-        # Stable round-robin: chunk i of every VM before chunk i+1 of any.
-        order = sorted(range(len(chunks)), key=lambda i: (chunks[i][1], i))
-        shared = self.manager.mode == "shared"
-        # The first half of each interval's trace warms the cache after any
-        # allocation change; only the second half is measured.
-        measure_from = self.interleave_chunks // 2
-        for i in order:
-            name, ci, part = chunks[i]
-            vm = next(v for v in self.vms if v.name == name)
-            mask = (
-                self.llc.full_mask
-                if shared
-                else machine.cat.effective_mask(vm.vcpus[0])
-            )
-            chunk_hits = self.llc.access_many(
-                part, mask=mask, cos=self._cos_of[name]
-            )
-            if ci >= measure_from:
-                hits[name] += chunk_hits
-                measured[name] += int(part.size)
-
-        hit_rates: Dict[str, float] = {}
-        ways: Dict[str, float] = {}
-        occupancy = self.llc.occupancy_by_cos()
-        for vm in self.vms:
-            name = vm.name
-            count = measured.get(name, 0)
-            hit_rates[name] = hits.get(name, 0) / count if count else 0.0
-            if shared:
-                ways[name] = occupancy.get(self._cos_of[name], 0) / max(
-                    1, self.machine.spec.llc.num_sets
-                )
-            else:
-                ways[name] = float(machine.effective_ways(vm.vcpus[0]))
-
-        # Exact occupancy feeds the CMT model (line-accurate, per COS).
-        for vm in self.vms:
-            rmid = self._rmid_of[vm.name]
-            lines = occupancy.get(self._cos_of[vm.name], 0)
-            machine.cmt.report_occupancy(
-                rmid, lines * machine.spec.llc.line_size
-            )
-
-        # Refresh the IPC estimates for the next interval's budget split.
-        for vm in self.vms:
-            phase = phases[vm.name]
-            if phase is None:
-                continue
-            cpi = machine.core_models[vm.vcpus[0]].cpi(
-                phase.behavior, hit_rates[vm.name]
-            )
-            self._ipc_estimate[vm.name] = 1.0 / cpi
-        return hit_rates, ways
+    @property
+    def llc(self) -> SetAssociativeCache:
+        """The substrate's tag-array LLC (kept for pre-substrate callers)."""
+        llc = self.substrate.llc  # type: ignore[attr-defined]
+        assert llc is not None
+        return llc

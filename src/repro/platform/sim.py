@@ -22,8 +22,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.cache.analytical import AccessPattern
-from repro.cache.contention import CacheDemand
 from repro.core.states import WorkloadState
 from repro.engine.events import (
     EventBus,
@@ -36,6 +34,11 @@ from repro.engine.pipeline import FunctionStage, StagedLoop
 from repro.hwcounters.events import L1_CACHE_HITS, L1_CACHE_MISSES, LLC_MISSES, LLC_REFERENCES
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
+from repro.platform.substrate import (
+    CacheSubstrate,
+    build_substrate,
+    get_default_fidelity,
+)
 from repro.platform.vm import VirtualMachine
 from repro.workloads.apps import AppWorkload
 from repro.workloads.base import Phase, PhasedWorkload
@@ -184,12 +187,20 @@ class CloudSimulation:
     loop is exposed as ``self.loop`` so instrumentation and alternate
     models can be spliced in without subclassing.
 
+    How hit rates are resolved is delegated to an injected
+    :class:`~repro.platform.substrate.CacheSubstrate` — analytical closed
+    forms, exact tag-array measurement, or the mixed cross-validation
+    oracle — so fidelity is a constructor dial, not a subclass.
+
     Args:
         machine: The host.
         vms: Pinned VMs (see :func:`repro.platform.vm.pin_vms`).
         manager: The cache-management regime under test.
         bus: Event bus for interval events (defaults to the process default
             bus, which is the null bus unless e.g. ``--trace`` installed one).
+        substrate: The cache substrate resolving per-VM hit rates (defaults
+            to a fresh substrate at the process default fidelity, which is
+            analytical unless e.g. ``--fidelity`` installed another).
     """
 
     def __init__(
@@ -198,6 +209,7 @@ class CloudSimulation:
         vms: Sequence[VirtualMachine],
         manager: CacheManager,
         bus: Optional[EventBus] = None,
+        substrate: Optional[CacheSubstrate] = None,
     ) -> None:
         names = [vm.name for vm in vms]
         if len(set(names)) != len(names):
@@ -230,11 +242,12 @@ class CloudSimulation:
         self._free_rmids: List[int] = sorted(
             r for r in range(1, machine.cmt.num_rmids) if r not in used
         )
-        # Previous-interval hit-rate estimate per VM, used to seed the
-        # contention solver's reference-rate estimates.
-        self._last_hit: Dict[str, float] = {vm.name: 0.5 for vm in vms}
         # Virtual time requested by run() but not yet a whole interval.
         self._residual_s = 0.0
+        if substrate is None:
+            substrate = build_substrate(get_default_fidelity())
+        self.substrate = substrate
+        self.substrate.bind(self)
         self.loop = StagedLoop(
             [
                 FunctionStage("resolve_hit_rates", self._stage_resolve_hit_rates),
@@ -282,7 +295,7 @@ class CloudSimulation:
         self.vms.append(vm)
         self.result.records.setdefault(vm.name, [])
         self.result.completions.setdefault(vm.name, [])
-        self._last_hit[vm.name] = 0.5
+        self.substrate.on_attach(vm)
 
     def detach_vm(self, vm_name: str) -> VirtualMachine:
         """Remove a VM between intervals (tenant departure).
@@ -305,7 +318,7 @@ class CloudSimulation:
         if rmid != 0:
             self._free_rmids.append(rmid)
             self._free_rmids.sort()
-        self._last_hit.pop(vm_name, None)
+        self.substrate.on_detach(vm_name)
         return vm
 
     # -- main loop ---------------------------------------------------------------
@@ -384,7 +397,7 @@ class CloudSimulation:
     def _stage_resolve_hit_rates(self, ctx: SimStepContext) -> None:
         """Snapshot phases and resolve each VM's hit rate / effective ways."""
         ctx.phases = {vm.name: vm.workload.current_phase() for vm in self.vms}
-        ctx.hit_rates, ctx.effective_ways = self._resolve_hit_rates(ctx.phases)
+        ctx.hit_rates, ctx.effective_ways = self.substrate.resolve(ctx.phases)
 
     def _stage_execute_cores(self, ctx: SimStepContext) -> None:
         """Drive each busy vCPU's core model and aggregate per VM."""
@@ -431,7 +444,6 @@ class CloudSimulation:
             acc = ctx.per_vm[vm.name]
             phase = acc.phase
             app_metrics = self._app_metrics(vm, phase, acc.ipc)
-            self._last_hit[vm.name] = ctx.hit_rates[vm.name]
             self._record_completion(vm, phase, acc.instructions)
             record = VmIntervalRecord(
                 time_s=self._time_s,
@@ -489,56 +501,9 @@ class CloudSimulation:
 
     # -- internals ------------------------------------------------------------------
 
-    def _resolve_hit_rates(
-        self, phases: Dict[str, Optional[Phase]]
-    ) -> Tuple[Dict[str, float], Dict[str, float]]:
-        """Per-VM LLC hit rate and effective ways for this interval."""
-        machine = self.machine
-        hit: Dict[str, float] = {}
-        ways: Dict[str, float] = {}
-
-        if self.manager.mode == "shared":
-            demanding = []
-            for vm in self.vms:
-                phase = phases[vm.name]
-                if phase is None or phase.pattern is AccessPattern.NONE:
-                    hit[vm.name] = 0.0
-                    ways[vm.name] = 0.0
-                    continue
-                behavior = phase.behavior
-                if behavior.l1_miss_ratio <= 0 or phase.wss_bytes <= 0:
-                    hit[vm.name] = 0.0
-                    ways[vm.name] = 0.0
-                    continue
-                # Reference rate estimate from last interval's hit rate.
-                cpi_est = machine.core_models[vm.vcpus[0]].cpi(
-                    behavior, self._last_hit[vm.name]
-                )
-                ref_rate = (
-                    behavior.refs_per_instr
-                    * behavior.l1_miss_ratio
-                    * behavior.duty_cycle
-                    * len(vm.busy_vcpus)
-                    / cpi_est
-                )
-                demanding.append(
-                    (vm.name, CacheDemand(phase.footprint, ref_rate=ref_rate))
-                )
-            shares = machine.contention.solve([d for _, d in demanding])
-            for (name, _), share in zip(demanding, shares):
-                hit[name] = share.hit_rate
-                ways[name] = share.effective_ways
-            return hit, ways
-
-        for vm in self.vms:
-            phase = phases[vm.name]
-            w = machine.effective_ways(vm.vcpus[0])
-            ways[vm.name] = float(w)
-            if phase is None or phase.pattern is AccessPattern.NONE:
-                hit[vm.name] = 0.0
-                continue
-            hit[vm.name] = machine.analytic.hit_rate_fp(phase.footprint, w)
-        return hit, ways
+    def rmid_of(self, vm_name: str) -> int:
+        """The monitoring RMID assigned to a resident VM."""
+        return self._rmid_of[vm_name]
 
     def _report_monitoring(
         self,

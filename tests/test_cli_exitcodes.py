@@ -46,6 +46,27 @@ class TestRunExitCodes:
         assert "cannot write" in capsys.readouterr().err
 
 
+class TestFidelityExitCodes:
+    def test_invalid_fidelity_exits_2_with_field_context(self, capsys):
+        assert main(["run", "fig3", "--fidelity", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "--fidelity" in err
+        assert "bogus" in err
+        assert "analytical" in err  # the message lists the legal modes
+
+    def test_invalid_fidelity_rejected_before_scenario_load(self, tmp_path, capsys):
+        # Validation happens up front: no scenario file is even opened.
+        absent = tmp_path / "never-read.json"
+        assert main(["churn", str(absent), "--fidelity", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "--fidelity" in err
+        assert "quantum" in err
+
+    def test_valid_fidelity_runs_clean(self, capsys):
+        assert main(["run", "fig3", "--fidelity", "analytical"]) == 0
+        assert "== fig3" in capsys.readouterr().out
+
+
 class TestChurnExitCodes:
     def test_invalid_field_exits_2_with_context(self, tmp_path, capsys):
         scenario = {

@@ -26,12 +26,12 @@ BASIC = {
 
 class TestLoading:
     def test_dict_source(self):
-        machine, vms, manager, duration, exact = load_scenario(BASIC)
+        machine, vms, manager, duration, fidelity = load_scenario(BASIC)
         assert machine.spec.name == "Xeon E5-2697 v4"
         assert [vm.name for vm in vms] == ["hungry", "spin"]
         assert manager.name == "dcat"
         assert duration == 8.0
-        assert exact is False
+        assert fidelity == {"mode": "analytical"}
 
     def test_json_string_source(self):
         machine, vms, *_ = load_scenario(json.dumps(BASIC))
@@ -136,6 +136,31 @@ class TestValidation:
         with pytest.raises(ScenarioError, match="duration"):
             load_scenario(data)
 
+    def test_unknown_fidelity(self):
+        data = dict(BASIC)
+        data["fidelity"] = "quantum"
+        with pytest.raises(ScenarioError, match="fidelity.mode: unknown fidelity"):
+            load_scenario(data)
+
+    def test_fidelity_object_without_mode(self):
+        data = dict(BASIC)
+        data["fidelity"] = {"sample_rate": 0.5}
+        with pytest.raises(ScenarioError, match="fidelity.mode: missing"):
+            load_scenario(data)
+
+    def test_fidelity_bad_option(self):
+        data = dict(BASIC)
+        data["fidelity"] = {"mode": "exact", "sample_rate": 0.5}
+        with pytest.raises(ScenarioError, match="does not accept option"):
+            load_scenario(data)
+
+    def test_fidelity_conflicts_with_legacy_exact(self):
+        data = dict(BASIC)
+        data["exact"] = True
+        data["fidelity"] = "analytical"
+        with pytest.raises(ScenarioError, match="legacy 'exact'"):
+            load_scenario(data)
+
 
 class TestRunning:
     def test_end_to_end(self):
@@ -152,8 +177,27 @@ class TestRunning:
             {"name": "hungry", "baseline_ways": 3,
              "workload": {"type": "mlr", "wss_mb": 2}},
         ]
+        assert load_scenario(data)[4] == {"mode": "exact"}
         result = run_scenario_file(data)
         assert len(result.timeline("hungry")) == 4
+
+    def test_fidelity_string_field(self):
+        data = dict(BASIC)
+        data["fidelity"] = "mixed"
+        assert load_scenario(data)[4] == {"mode": "mixed"}
+
+    def test_fidelity_object_field(self):
+        data = dict(BASIC)
+        data["fidelity"] = {"mode": "mixed", "sample_rate": 0.5, "tolerance": 0.2}
+        spec = load_scenario(data)[4]
+        assert spec["mode"] == "mixed"
+        assert spec["sample_rate"] == 0.5
+
+    def test_fidelity_override_wins(self):
+        data = dict(BASIC)
+        data["duration_s"] = 2
+        result = run_scenario_file(data, fidelity="analytical")
+        assert len(result.timeline("hungry")) == 2
 
     def test_cli_scenario_subcommand(self, tmp_path, capsys):
         from repro.harness.cli import main
