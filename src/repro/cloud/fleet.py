@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.cache.analytical import AccessPattern
+from repro.cloud.admission import classify_rejection
 from repro.cloud.lifecycle import TenantSpec, scripted_tenants
 from repro.cloud.placement import PlacementPolicy
 from repro.cloud.slo import SloAccountant, TenantSloStats
@@ -38,6 +39,7 @@ from repro.engine.events import (
     TenantRejected,
     get_default_bus,
 )
+from repro.errors import UnknownTenantError
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
 from repro.platform.sim import CloudSimulation, SimulationResult
@@ -194,7 +196,15 @@ class FleetMachine:
         return vm
 
     def depart(self, tenant_id: str) -> ResidentTenant:
-        """Detach a tenant and return its pooled resources."""
+        """Detach a tenant and return its pooled resources.
+
+        Raises:
+            UnknownTenantError: If no such tenant is resident here.
+        """
+        if tenant_id not in self.residents:
+            raise UnknownTenantError(
+                f"tenant {tenant_id!r} is not resident on machine {self.name!r}"
+            )
         resident = self.residents.pop(tenant_id)
         self.sim.detach_vm(tenant_id)
         self._free_threads.extend(resident.vm.vcpus)
@@ -316,6 +326,116 @@ class CloudFleet:
             },
         )
 
+    # -- tenant lifecycle (public: scripted streams and the service both
+    #    funnel through these two, so online and replayed admissions are
+    #    the same code path) -------------------------------------------------
+
+    def machine_of(self, tenant_id: str) -> Optional[FleetMachine]:
+        """The machine currently hosting ``tenant_id`` (``None`` if absent)."""
+        for machine in self.machines:
+            if tenant_id in machine.residents:
+                return machine
+        return None
+
+    def admit_tenant(self, spec: TenantSpec, now: Optional[float] = None) -> PlacementRecord:
+        """Place and (maybe) admit one tenant at ``now``.
+
+        The single admission path: batch arrival streams and the service
+        daemon both call it, so placement, SLO ledger creation, event
+        emission order, and the placement log are identical however the
+        tenant arrived.  Returns the :class:`PlacementRecord`; a rejected
+        tenant gets ``machine=None`` and a structured
+        :class:`~repro.cloud.admission.RejectReason` value as ``reason``.
+        """
+        if now is None:
+            now = self._time_s
+        bus = self.bus
+        workload = spec.build_workload()
+        chosen = self.policy.place(spec, workload, self.machines)
+        if chosen is None:
+            reason = classify_rejection(self.machines, spec.baseline_ways).value
+            record = PlacementRecord(
+                time_s=now,
+                tenant_id=spec.name,
+                machine=None,
+                reason=reason,
+            )
+            self.placements.append(record)
+            if bus.active:
+                bus.emit(
+                    TenantRejected.fast(
+                        time_s=now, tenant_id=spec.name, reason=reason
+                    )
+                )
+            return record
+        if bus.active:
+            bus.emit(
+                TenantPlaced.fast(
+                    time_s=now,
+                    tenant_id=spec.name,
+                    machine=chosen.name,
+                    policy=self.policy.name,
+                )
+            )
+        chosen.admit(spec, workload, now)
+        self.accountant.admitted(spec.name, chosen.name, now)
+        record = PlacementRecord(
+            time_s=now,
+            tenant_id=spec.name,
+            machine=chosen.name,
+            reason="placed",
+        )
+        self.placements.append(record)
+        if bus.active:
+            bus.emit(
+                TenantAdmitted.fast(
+                    time_s=now,
+                    tenant_id=spec.name,
+                    machine=chosen.name,
+                    baseline_ways=spec.baseline_ways,
+                )
+            )
+        return record
+
+    def depart_tenant(
+        self,
+        tenant_id: str,
+        now: Optional[float] = None,
+        reason: Optional[str] = None,
+    ) -> ResidentTenant:
+        """Detach one resident tenant at ``now`` and settle its ledger.
+
+        ``reason`` defaults to ``"finished"``/``"lease-end"`` from the
+        workload's state; the service passes ``"detached"`` for
+        API-requested departures.
+
+        Raises:
+            UnknownTenantError: If the tenant is not resident anywhere.
+        """
+        if now is None:
+            now = self._time_s
+        machine = self.machine_of(tenant_id)
+        if machine is None:
+            raise UnknownTenantError(
+                f"tenant {tenant_id!r} is not resident in the fleet"
+            )
+        resident = machine.depart(tenant_id)
+        if reason is None:
+            reason = (
+                "finished" if resident.vm.workload.finished else "lease-end"
+            )
+        self.accountant.departed(tenant_id, now)
+        if self.bus.active:
+            self.bus.emit(
+                TenantDeparted.fast(
+                    time_s=now,
+                    tenant_id=tenant_id,
+                    machine=machine.name,
+                    reason=reason,
+                )
+            )
+        return resident
+
     # -- interval stages -----------------------------------------------------
 
     def _process_departures(self, now: float) -> None:
@@ -326,75 +446,16 @@ class CloudFleet:
                 if res.lease_end_s <= now or res.vm.workload.finished
             ]
             for tid in due:
-                resident = machine.depart(tid)
-                reason = (
-                    "finished" if resident.vm.workload.finished else "lease-end"
-                )
-                self.accountant.departed(tid, now)
-                if self.bus.active:
-                    self.bus.emit(
-                        TenantDeparted.fast(
-                            time_s=now,
-                            tenant_id=tid,
-                            machine=machine.name,
-                            reason=reason,
-                        )
-                    )
+                self.depart_tenant(tid, now)
 
     def _process_arrivals(self, now: float) -> None:
-        bus = self.bus
         while (
             self._next_arrival < len(self._pending)
             and self._pending[self._next_arrival].arrival_s <= now
         ):
             spec = self._pending[self._next_arrival]
             self._next_arrival += 1
-            workload = spec.build_workload()
-            chosen = self.policy.place(spec, workload, self.machines)
-            if chosen is None:
-                self.placements.append(
-                    PlacementRecord(
-                        time_s=now,
-                        tenant_id=spec.name,
-                        machine=None,
-                        reason="no-capacity",
-                    )
-                )
-                if bus.active:
-                    bus.emit(
-                        TenantRejected.fast(
-                            time_s=now, tenant_id=spec.name, reason="no-capacity"
-                        )
-                    )
-                continue
-            if bus.active:
-                bus.emit(
-                    TenantPlaced.fast(
-                        time_s=now,
-                        tenant_id=spec.name,
-                        machine=chosen.name,
-                        policy=self.policy.name,
-                    )
-                )
-            chosen.admit(spec, workload, now)
-            self.accountant.admitted(spec.name, chosen.name, now)
-            self.placements.append(
-                PlacementRecord(
-                    time_s=now,
-                    tenant_id=spec.name,
-                    machine=chosen.name,
-                    reason="placed",
-                )
-            )
-            if bus.active:
-                bus.emit(
-                    TenantAdmitted.fast(
-                        time_s=now,
-                        tenant_id=spec.name,
-                        machine=chosen.name,
-                        baseline_ways=spec.baseline_ways,
-                    )
-                )
+            self.admit_tenant(spec, now)
 
     def _snapshot_entitlements(self) -> Dict[str, Optional[float]]:
         """Entitled IPC per resident, from the phase about to execute."""

@@ -44,7 +44,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.cloud.fleet import CloudFleet, FleetMachine, FleetResult
 from repro.cloud.lifecycle import MixEntry, TenantSpec, poisson_tenants
@@ -62,6 +62,7 @@ from repro.platform.machine import Machine
 
 __all__ = [
     "ChurnScenarioError",
+    "build_fleet_machines",
     "load_churn_scenario",
     "run_churn_scenario",
 ]
@@ -204,45 +205,29 @@ def _parse_poisson(spec: Any, duration_s: float) -> List[TenantSpec]:
     )
 
 
-def load_churn_scenario(
-    source: Union[str, Path, Dict[str, Any]],
+def build_fleet_machines(
+    data: Dict[str, Any],
     fidelity: Optional[str] = None,
-) -> Tuple[CloudFleet, float]:
-    """Parse a churn scenario (dict, JSON string, or file path).
+    machine_bus: Optional[Callable[[str], Any]] = None,
+) -> Tuple[List[FleetMachine], str, float]:
+    """Build the machines a scenario's shared fleet vocabulary describes.
 
-    A top-level ``fidelity`` field (string or ``{"mode": ..., **options}``
-    object, see :func:`repro.harness.scenario_file.parse_fidelity`) selects
-    the cache substrate for every machine; each host gets its own substrate
-    instance under a seed derived from the substrate seed and the machine
-    name, so exact tag-array streams differ per host but the run stays
-    deterministic.  The ``fidelity`` argument (the CLI's ``--fidelity``)
-    overrides the file's field.
+    Parses the ``fleet`` / ``manager`` / ``placement`` / ``slo`` /
+    ``faults`` / ``fidelity`` sections — the vocabulary churn scenarios
+    and service configs share — and constructs one
+    :class:`FleetMachine` per host with derived per-machine seeds.
+
+    Args:
+        data: The scenario document (already a mapping).
+        fidelity: Optional CLI override for the file's ``fidelity``.
+        machine_bus: Optional factory giving each machine its own event
+            bus (the service uses per-machine buses so invariant
+            checkers never conflate controllers); ``None`` leaves the
+            process-default bus.
 
     Returns:
-        ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
-
-    Raises:
-        ChurnScenarioError: On any malformed field, naming field and entry.
+        ``(machines, placement_name, slo_tolerance)``.
     """
-    if isinstance(source, dict):
-        data = source
-    else:
-        path = Path(source)
-        try:
-            is_file = path.exists()
-        except OSError:
-            is_file = False
-        if is_file:
-            data = json.loads(path.read_text())
-        else:
-            try:
-                data = json.loads(str(source))
-            except json.JSONDecodeError:
-                raise ChurnScenarioError(
-                    f"churn scenario {source!r} is neither a file nor valid JSON"
-                ) from None
-    data = _require_mapping(data, "scenario")
-
     fleet_spec = _require_mapping(data.get("fleet", {}), "fleet")
     n_machines = _get_int(fleet_spec, "fleet", "machines", default=2, minimum=1)
     socket = fleet_spec.get("socket", "xeon_d")
@@ -253,8 +238,6 @@ def load_churn_scenario(
     seed = _get_int(fleet_spec, "fleet", "seed", default=1234)
     interval_s = _get_number(fleet_spec, "fleet", "interval_s", default=1.0, positive=True)
     vcpus_per_vm = _get_int(fleet_spec, "fleet", "vcpus_per_vm", default=2, minimum=1)
-
-    duration_s = _get_number(data, "scenario", "duration_s", default=30.0, positive=True)
 
     placement = data.get("placement", "first_fit")
     if isinstance(placement, dict):
@@ -270,18 +253,6 @@ def load_churn_scenario(
         raise ChurnScenarioError(
             f"slo.tolerance: must be within [0, 1), got {tolerance}"
         )
-
-    tenants = _parse_tenants(data.get("tenants", []))
-    if "poisson" in data:
-        tenants = tenants + _parse_poisson(data["poisson"], duration_s)
-    if not tenants:
-        raise ChurnScenarioError(
-            "scenario: needs a non-empty 'tenants' list and/or a 'poisson' stream"
-        )
-    names = [t.name for t in tenants]
-    if len(set(names)) != len(names):
-        dupes = sorted({n for n in names if names.count(n) > 1})
-        raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
 
     fleet_plan = None
     if "faults" in data:
@@ -339,6 +310,7 @@ def load_churn_scenario(
                 name=name,
                 machine=machine,
                 manager=manager,
+                bus=machine_bus(name) if machine_bus is not None else None,
                 vcpus_per_vm=vcpus_per_vm,
                 fault_plan=machine_plan,
                 substrate=substrate_from_spec(machine_fidelity),
@@ -346,6 +318,63 @@ def load_churn_scenario(
         except ValueError as exc:
             raise ChurnScenarioError(f"faults: {exc}") from None
         machines.append(fleet_machine)
+    return machines, placement, tolerance
+
+
+def load_churn_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+    fidelity: Optional[str] = None,
+) -> Tuple[CloudFleet, float]:
+    """Parse a churn scenario (dict, JSON string, or file path).
+
+    A top-level ``fidelity`` field (string or ``{"mode": ..., **options}``
+    object, see :func:`repro.harness.scenario_file.parse_fidelity`) selects
+    the cache substrate for every machine; each host gets its own substrate
+    instance under a seed derived from the substrate seed and the machine
+    name, so exact tag-array streams differ per host but the run stays
+    deterministic.  The ``fidelity`` argument (the CLI's ``--fidelity``)
+    overrides the file's field.
+
+    Returns:
+        ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
+
+    Raises:
+        ChurnScenarioError: On any malformed field, naming field and entry.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        path = Path(source)
+        try:
+            is_file = path.exists()
+        except OSError:
+            is_file = False
+        if is_file:
+            data = json.loads(path.read_text())
+        else:
+            try:
+                data = json.loads(str(source))
+            except json.JSONDecodeError:
+                raise ChurnScenarioError(
+                    f"churn scenario {source!r} is neither a file nor valid JSON"
+                ) from None
+    data = _require_mapping(data, "scenario")
+
+    duration_s = _get_number(data, "scenario", "duration_s", default=30.0, positive=True)
+
+    tenants = _parse_tenants(data.get("tenants", []))
+    if "poisson" in data:
+        tenants = tenants + _parse_poisson(data["poisson"], duration_s)
+    if not tenants:
+        raise ChurnScenarioError(
+            "scenario: needs a non-empty 'tenants' list and/or a 'poisson' stream"
+        )
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
+
+    machines, placement, tolerance = build_fleet_machines(data, fidelity=fidelity)
 
     fleet = CloudFleet(
         machines=machines,

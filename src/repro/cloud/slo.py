@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.engine.events import EventBus, SloViolated, get_default_bus
+from repro.errors import UnknownTenantError
 
 __all__ = ["TenantSloStats", "SloAccountant"]
 
@@ -91,6 +92,8 @@ class SloAccountant:
         )
 
     def departed(self, tenant_id: str, time_s: float) -> None:
+        if tenant_id not in self.tenants:
+            raise UnknownTenantError(f"tenant {tenant_id!r} has no SLO ledger")
         self.tenants[tenant_id].departed_s = time_s
 
     def observe(

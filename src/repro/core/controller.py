@@ -52,6 +52,7 @@ from repro.engine.events import (
     WorkloadRegistered,
 )
 from repro.engine.pipeline import FunctionStage, StagedLoop
+from repro.errors import UnknownTenantError
 from repro.hwcounters.msr import CounterReadError
 from repro.hwcounters.perfmon import CounterSample, PerfMonitor
 
@@ -228,7 +229,9 @@ class DCatController:
         """
         record = self._records.pop(workload_id, None)
         if record is None:
-            raise ValueError(f"workload {workload_id!r} is not registered")
+            raise UnknownTenantError(
+                f"workload {workload_id!r} is not registered"
+            )
         for core in record.cores:
             self._assoc_set(core, 0, best_effort=True)
         reset = [

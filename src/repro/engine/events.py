@@ -431,6 +431,12 @@ def event_payload(event: Event) -> Dict[str, Any]:
 class JsonlTraceWriter:
     """Streams every event as one JSON object per line.
 
+    The sink contract: callers either use the writer as a context manager
+    or call :meth:`close` on every exit path (the daemon calls it from
+    its SIGTERM/SIGINT handler).  ``close`` flushes, is idempotent, and
+    drops any event delivered afterwards — a late emitter racing a
+    shutdown must not raise on a closed file.
+
     Args:
         target: A path to create/truncate, or an open text file object.
     """
@@ -442,15 +448,28 @@ class JsonlTraceWriter:
         else:
             self._file = target
             self._owns_file = False
+        self._closed = False
 
     def __call__(self, event: Event) -> None:
+        if self._closed:
+            return
         self._file.write(json.dumps(event_payload(event), sort_keys=True) + "\n")
 
     def mark(self, **extra: Any) -> None:
         """Write an out-of-band marker line (e.g. an experiment boundary)."""
+        if self._closed:
+            return
         self._file.write(json.dumps({"event": "Marker", **extra}, sort_keys=True) + "\n")
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS without closing the sink."""
+        if not self._closed:
+            self._file.flush()
+
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
         self._file.flush()
         if self._owns_file:
             self._file.close()

@@ -1,0 +1,32 @@
+"""Cross-layer typed exceptions.
+
+Kept dependency-free and at the package root so every layer — the
+controller, the platform simulation, the cloud fleet, and the HTTP
+service — can raise and catch the same types without import cycles.
+"""
+
+from __future__ import annotations
+
+__all__ = ["UnknownTenantError"]
+
+
+class UnknownTenantError(ValueError, KeyError):
+    """A tenant/workload id that no layer currently knows about.
+
+    Raised by :meth:`~repro.platform.sim.CloudSimulation.detach_vm`,
+    :meth:`~repro.core.controller.DCatController.deregister_workload`,
+    :meth:`~repro.cloud.fleet.FleetMachine.depart` and the
+    :class:`~repro.cloud.handle.FleetHandle` lifecycle ops when asked
+    about an id that is not attached/registered/resident.  The HTTP
+    service maps it to a 404 instead of a 500.
+
+    Subclasses both :class:`ValueError` (the historical type these
+    paths raised, so existing ``except ValueError`` callers keep
+    working) and :class:`KeyError` (the shape dict-backed callers
+    expect).
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs its single argument ("'msg'"); keep the
+        # plain ValueError-style message instead.
+        return str(self.args[0]) if self.args else ""

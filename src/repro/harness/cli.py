@@ -13,6 +13,8 @@ Usage::
     dcat-experiment run fig10 --metrics out.prom
     dcat-experiment run fig17 --fidelity mixed
     dcat-experiment bench [--quick] [--out BENCH_controller.json]
+    dcat-experiment serve examples/service.json [--port 8787] [--metrics serve.prom]
+    dcat-experiment loadtest examples/service.json [--quick] [--out BENCH_service.json]
 
 ``--metrics PATH`` writes a telemetry snapshot of the run — per-stage
 timing histograms and controller/cloud gauges — as Prometheus text at
@@ -136,6 +138,60 @@ def _build_parser() -> argparse.ArgumentParser:
         default="BENCH_controller.json",
         help="where to write the payload (default: %(default)s)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the asyncio controller daemon: tenant lifecycle over HTTP "
+        "(see repro.service); stops gracefully on SIGTERM/SIGINT",
+    )
+    serve.add_argument("path", help="path to the service-config JSON")
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="listen address (default: %(default)s)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="listen port; 0 picks an ephemeral one (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write Prometheus text + JSON telemetry on shutdown",
+    )
+    serve.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL event trace of everything the fleet did",
+    )
+    _add_fidelity_flag(serve)
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="boot a daemon, drive open-loop Poisson tenant churn over HTTP, "
+        "verify replay determinism + SLOs, and write BENCH_service.json; "
+        "exits 1 if any assertion fails",
+    )
+    loadtest.add_argument("path", help="path to the service-config JSON")
+    loadtest.add_argument(
+        "--quick",
+        action="store_true",
+        help="5-second smoke run (same schema and assertions, no request floor)",
+    )
+    loadtest.add_argument(
+        "--rps", type=float, default=None, help="admission arrival rate"
+    )
+    loadtest.add_argument(
+        "--duration", type=float, default=None, help="arrival window seconds"
+    )
+    loadtest.add_argument("--seed", type=int, default=7, help="request-plan seed")
+    loadtest.add_argument(
+        "--out",
+        metavar="PATH",
+        default="BENCH_service.json",
+        help="where to write the payload (default: %(default)s)",
+    )
+    _add_fidelity_flag(loadtest)
     return parser
 
 
@@ -179,6 +235,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_chaos(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "loadtest":
+        return _run_loadtest(args)
     if args.command == "list":
         for experiment_id in EXPERIMENTS:
             print(experiment_id)
@@ -278,6 +338,111 @@ def _run_bench(args) -> int:
         )
     print(f"wrote {args.out}")
     return 0
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    from repro.harness.scenario_file import ScenarioError
+
+    try:
+        from repro.service.config import load_service_config
+        from repro.service.daemon import ControllerDaemon
+
+        config = load_service_config(args.path, fidelity=args.fidelity)
+        daemon = ControllerDaemon(
+            config,
+            host=args.host,
+            port=args.port,
+            trace_path=args.trace,
+            metrics_path=args.metrics,
+        )
+    except ScenarioError as exc:
+        print(f"service config error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot open trace or metrics sink: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        await daemon.start()
+        print(
+            f"serving on http://{daemon.host}:{daemon.port} "
+            f"(tick every {daemon.tick_interval_s:g}s; SIGTERM/SIGINT to stop)",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        import signal as _signal
+
+        stop_event = asyncio.Event()
+        installed = []
+        for sig in (_signal.SIGINT, _signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop_event.set)
+                installed.append(sig)
+            except NotImplementedError:  # pragma: no cover - non-posix loops
+                pass
+        try:
+            await stop_event.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            await daemon.stop()
+
+    try:
+        asyncio.run(_serve())
+    except OSError as exc:
+        print(f"cannot bind {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"stopped at t={daemon.handle.fleet.now:g}s after {daemon.handle.ticks} "
+        f"tick(s), {daemon.setup.violation_count()} invariant violation(s)"
+    )
+    return 0
+
+
+def _run_loadtest(args) -> int:
+    from repro.harness.scenario_file import ScenarioError
+
+    try:
+        from repro.service.loadgen import run_loadtest
+
+        payload, failures = run_loadtest(
+            args.path,
+            out=args.out,
+            quick=args.quick,
+            rps=args.rps,
+            duration_s=args.duration,
+            seed=args.seed,
+            fidelity=args.fidelity,
+        )
+    except ScenarioError as exc:
+        print(f"service config error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"cannot write bench payload: {exc}", file=sys.stderr)
+        return 2
+    requests = payload["requests"]
+    latency = payload["latency_s"]["admit"]
+    print(
+        f"requests {requests['total']} "
+        f"(admitted {requests['admitted']}, rejected "
+        f"{sum(requests['rejected'].values())}, detached {requests['detached']})"
+    )
+    print(
+        f"admit latency p50 {latency['p50_s'] * 1e3:.2f} ms  "
+        f"p90 {latency['p90_s'] * 1e3:.2f} ms  "
+        f"p99 {latency['p99_s'] * 1e3:.2f} ms"
+    )
+    print(
+        f"invariants {payload['invariants']['violations']} violation(s) over "
+        f"{payload['invariants']['intervals_checked']} interval(s); replay "
+        f"{'identical' if payload['determinism']['replay_identical'] else 'DIVERGED'}"
+    )
+    print(f"wrote {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _run_churn(args) -> int:

@@ -31,6 +31,7 @@ from repro.engine.events import (
     get_default_bus,
 )
 from repro.engine.pipeline import FunctionStage, StagedLoop
+from repro.errors import UnknownTenantError
 from repro.hwcounters.events import L1_CACHE_HITS, L1_CACHE_MISSES, LLC_MISSES, LLC_REFERENCES
 from repro.platform.machine import Machine
 from repro.platform.managers import CacheManager
@@ -309,7 +310,7 @@ class CloudSimulation:
             if vm.name == vm_name:
                 break
         else:
-            raise ValueError(f"VM {vm_name!r} is not attached")
+            raise UnknownTenantError(f"VM {vm_name!r} is not attached")
         self.manager.detach_vm(vm_name)
         del self.vms[i]
         rmid = self._rmid_of.pop(vm_name)

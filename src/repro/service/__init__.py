@@ -1,0 +1,24 @@
+"""The long-running controller daemon: tenant lifecycle over HTTP.
+
+``repro.service`` turns the batch simulation into the deployment shape
+the paper describes — cache management *as a service* inside IaaS:
+
+* :mod:`repro.service.http` — a minimal stdlib-only HTTP/1.1 layer
+  (request parsing, response rendering, a tiny client for the load
+  generator);
+* :mod:`repro.service.config` — service config files sharing the churn
+  scenario's fleet vocabulary, plus per-machine invariant checkers;
+* :mod:`repro.service.daemon` — the asyncio daemon: one serialized
+  command queue over a :class:`~repro.cloud.handle.FleetHandle`, a
+  background fleet clock, graceful SIGTERM/SIGINT shutdown;
+* :mod:`repro.service.loadgen` — an open-loop Poisson load generator
+  and the ``dcat-service-bench/v1`` payload (``BENCH_service.json``).
+
+Start it with ``dcat-experiment serve examples/service.json``; load-test
+it with ``dcat-experiment loadtest examples/service.json``.
+"""
+
+from repro.service.daemon import ControllerDaemon
+from repro.service.config import ServiceConfigError, load_service_config
+
+__all__ = ["ControllerDaemon", "ServiceConfigError", "load_service_config"]

@@ -1,0 +1,178 @@
+"""Service config files: a fleet to serve, without a scripted lifecycle.
+
+A service config reuses the churn scenario's fleet vocabulary —
+``fleet`` / ``manager`` / ``placement`` / ``slo`` / ``faults`` /
+``fidelity`` — but deliberately rejects ``tenants`` / ``poisson`` /
+``duration_s``: the daemon owns the lifecycle (tenants arrive over
+HTTP) and runs until stopped.  One extra section configures the clock::
+
+    {
+      "fleet": {"machines": 4, "socket": "xeon_d", "seed": 7},
+      "manager": {"type": "dcat"},
+      "placement": "least_loaded",
+      "service": {"tick_interval_s": 0.05}
+    }
+
+``tick_interval_s`` is the *wall-clock* pause between fleet steps; each
+step still advances ``fleet.interval_s`` of virtual time, so the daemon
+can run the simulation faster or slower than real time.
+
+:meth:`ServiceConfig.build` is deterministic — calling it twice yields
+interchangeable fleets (same derived seeds, same substrates) — which is
+what lets the load tester replay a recorded journal offline and demand
+byte-identical snapshots.  Each dcat machine gets its **own** event bus
+with an :class:`~repro.faults.invariants.InvariantChecker` attached
+(controller events carry no machine identity, so a shared checker would
+conflate hosts); every machine bus also forwards into the shared
+service bus so traces and metrics see the whole fleet.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.cloud.fleet import CloudFleet
+from repro.cloud.placement import build_policy
+from repro.cloud.scenario import (
+    ChurnScenarioError,
+    _get_number,
+    _require_mapping,
+    build_fleet_machines,
+)
+from repro.engine.events import EventBus
+from repro.faults.invariants import InvariantChecker
+from repro.harness.scenario_file import ScenarioError
+
+__all__ = [
+    "ServiceConfigError",
+    "ServiceSetup",
+    "ServiceConfig",
+    "load_service_config",
+]
+
+#: Batch-scenario keys a service config must not carry.
+_BATCH_ONLY_KEYS = ("tenants", "poisson", "duration_s")
+
+
+class ServiceConfigError(ScenarioError):
+    """A service config is malformed; the message names the field."""
+
+
+@dataclass
+class ServiceSetup:
+    """One built service backend: the fleet plus its per-machine watchdogs."""
+
+    fleet: CloudFleet
+    buses: Dict[str, EventBus] = field(default_factory=dict)
+    checkers: Dict[str, InvariantChecker] = field(default_factory=dict)
+
+    def violation_count(self) -> int:
+        return sum(len(c.violations) for c in self.checkers.values())
+
+    def intervals_checked(self) -> int:
+        return sum(c.intervals_checked for c in self.checkers.values())
+
+
+@dataclass
+class ServiceConfig:
+    """A validated service config; :meth:`build` it as often as needed."""
+
+    data: Dict[str, Any]
+    tick_interval_s: float
+    fidelity: Optional[str] = None
+
+    def build(self, bus: Optional[EventBus] = None) -> ServiceSetup:
+        """Construct the fleet (and invariant checkers) this config describes.
+
+        Args:
+            bus: Optional shared service bus; tenant lifecycle events go
+                there directly and every machine bus forwards into it.
+        """
+        buses: Dict[str, EventBus] = {}
+
+        def machine_bus(name: str) -> EventBus:
+            mbus = EventBus()
+            if bus is not None:
+                mbus.subscribe(bus.emit)
+            buses[name] = mbus
+            return mbus
+
+        try:
+            machines, placement, tolerance = build_fleet_machines(
+                self.data, fidelity=self.fidelity, machine_bus=machine_bus
+            )
+        except ChurnScenarioError as exc:
+            raise ServiceConfigError(str(exc)) from None
+        checkers: Dict[str, InvariantChecker] = {}
+        for machine in machines:
+            controller = getattr(machine.sim.manager, "controller", None)
+            if controller is not None:
+                checkers[machine.name] = InvariantChecker(
+                    total_ways=controller.total_ways,
+                    config=controller.config,
+                    bus=buses[machine.name],
+                )
+        fleet = CloudFleet(
+            machines=machines,
+            policy=build_policy(placement),
+            tenants=[],
+            bus=bus,
+            slo_tolerance=tolerance,
+        )
+        return ServiceSetup(fleet=fleet, buses=buses, checkers=checkers)
+
+
+def load_service_config(
+    source: Union[str, Path, Dict[str, Any]],
+    fidelity: Optional[str] = None,
+) -> ServiceConfig:
+    """Parse and validate a service config (dict, JSON string, or path).
+
+    Raises:
+        ServiceConfigError: On any malformed field, naming the field.
+    """
+    if isinstance(source, dict):
+        data = source
+    else:
+        path = Path(source)
+        try:
+            is_file = path.exists()
+        except OSError:
+            is_file = False
+        if is_file:
+            data = json.loads(path.read_text())
+        else:
+            try:
+                data = json.loads(str(source))
+            except json.JSONDecodeError:
+                raise ServiceConfigError(
+                    f"service config {source!r} is neither a file nor valid JSON"
+                ) from None
+    try:
+        data = _require_mapping(data, "service config")
+    except ChurnScenarioError as exc:
+        raise ServiceConfigError(str(exc)) from None
+    for key in _BATCH_ONLY_KEYS:
+        if key in data:
+            raise ServiceConfigError(
+                f"{key}: not allowed in a service config — the daemon owns "
+                f"the tenant lifecycle (use 'dcat-experiment churn' for "
+                f"scripted streams)"
+            )
+    try:
+        service_spec = _require_mapping(data.get("service", {}), "service")
+        tick = _get_number(
+            service_spec, "service", "tick_interval_s", default=0.05, positive=True
+        )
+    except ChurnScenarioError as exc:
+        raise ServiceConfigError(str(exc)) from None
+    config = ServiceConfig(
+        data=dict(data), tick_interval_s=float(tick), fidelity=fidelity
+    )
+    # Validate the fleet vocabulary eagerly by building it once: config
+    # errors surface at load time (CLI exit 2), not mid-serve.
+    config.build()
+    return config

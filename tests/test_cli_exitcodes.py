@@ -183,6 +183,64 @@ class TestBenchExitCodes:
         assert "cannot write bench payload" in capsys.readouterr().err
 
 
+class TestServiceExitCodes:
+    SERVICE = {
+        "fleet": {"machines": 1, "socket": "xeon_d", "seed": 7},
+        "manager": {"type": "dcat"},
+        "service": {"tick_interval_s": 0.02},
+    }
+
+    def test_serve_missing_config_exits_2(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "absent.json")]) == 2
+        assert "neither a file nor valid JSON" in capsys.readouterr().err
+
+    def test_serve_batch_keys_rejected_before_listening(self, tmp_path, capsys):
+        config = dict(self.SERVICE, tenants=[])
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(config))
+        assert main(["serve", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "tenants" in err
+        assert "daemon owns" in err
+
+    def test_serve_bad_tick_interval_exits_2(self, tmp_path, capsys):
+        config = dict(self.SERVICE, service={"tick_interval_s": 0})
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(config))
+        assert main(["serve", str(path)]) == 2
+        assert "tick_interval_s" in capsys.readouterr().err
+
+    def test_loadtest_bad_config_exits_2(self, tmp_path, capsys):
+        assert main(["loadtest", str(tmp_path / "absent.json")]) == 2
+        assert "neither a file nor valid JSON" in capsys.readouterr().err
+
+    def test_loadtest_unwritable_out_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(self.SERVICE))
+        code = main([
+            "loadtest", str(path), "--quick",
+            "--rps", "10", "--duration", "0.5",
+            "--out", str(tmp_path / "no" / "such" / "B.json"),
+        ])
+        assert code == 2
+        assert "cannot write" in capsys.readouterr().err
+
+    def test_quick_loadtest_exits_0_and_writes_valid_bench(self, tmp_path, capsys):
+        from repro.service.loadgen import validate_service_bench
+
+        path = tmp_path / "svc.json"
+        path.write_text(json.dumps(self.SERVICE))
+        out = tmp_path / "BENCH_service.json"
+        code = main([
+            "loadtest", str(path), "--quick",
+            "--rps", "15", "--duration", "1.0", "--out", str(out),
+        ])
+        assert code == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = validate_service_bench(json.loads(out.read_text()))
+        assert payload["quick"] is True
+
+
 def test_list_prints_every_experiment(capsys):
     from repro.harness.registry import EXPERIMENTS
 

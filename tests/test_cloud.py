@@ -294,7 +294,7 @@ class TestCloudFleetChurn:
              "workload": {"type": "lookbusy"}},
         ]
         result = run_churn_scenario(scenario)
-        assert [p.reason for p in result.placements] == ["placed", "no-capacity"]
+        assert [p.reason for p in result.placements] == ["placed", "no-ways"]
         assert result.rejected[0].tenant_id == "b"
         assert "b" not in result.tenants
 
@@ -362,7 +362,7 @@ class TestLifecycleEventsOnBus:
         ]
         seen = self._run_with_bus(scenario)
         rejected = [e for e in seen if isinstance(e, TenantRejected)]
-        assert [(e.tenant_id, e.reason) for e in rejected] == [("b", "no-capacity")]
+        assert [(e.tenant_id, e.reason) for e in rejected] == [("b", "no-ways")]
 
     def test_jsonl_trace_includes_lifecycle(self, tmp_path):
         path = tmp_path / "trace.jsonl"

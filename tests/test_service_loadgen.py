@@ -1,0 +1,178 @@
+"""Load-generator tests: plan determinism, percentiles, bench schema.
+
+The end-to-end test runs a short real loadtest (daemon + open-loop
+driver + replay verification) so the whole acceptance harness behind
+``dcat-experiment loadtest`` is exercised in-tree, just at a fraction
+of the committed bench's duration.
+"""
+
+import json
+
+import pytest
+
+from repro.service.loadgen import (
+    MIN_REQUESTS,
+    SERVICE_BENCH_FORMAT,
+    percentile,
+    plan_requests,
+    run_loadtest,
+    validate_service_bench,
+    write_service_bench,
+)
+
+CONFIG = {
+    "fleet": {"machines": 2, "socket": "xeon_d", "seed": 7, "interval_s": 1.0},
+    "manager": {"type": "dcat"},
+    "placement": "least_loaded",
+    "service": {"tick_interval_s": 0.02},
+}
+
+
+class TestPlan:
+    def test_plan_is_a_pure_function_of_its_knobs(self):
+        a = plan_requests(40, 3.0, seed=11)
+        b = plan_requests(40, 3.0, seed=11)
+        assert a == b
+        c = plan_requests(40, 3.0, seed=12)
+        assert a != c
+
+    def test_plan_shape(self):
+        plan = plan_requests(50, 4.0, seed=7)
+        assert plan, "a 4s plan at 50 rps cannot be empty"
+        offsets = [entry.offset_s for entry in plan]
+        assert offsets == sorted(offsets)
+        assert all(0 < t < 4.0 for t in offsets)
+        assert len({entry.name for entry in plan}) == len(plan)
+        assert all(entry.baseline_ways in (2, 3) for entry in plan)
+        assert all(entry.hold_s > 0 for entry in plan)
+
+    def test_plan_rejects_bad_knobs(self):
+        with pytest.raises(ValueError):
+            plan_requests(0, 5.0)
+        with pytest.raises(ValueError):
+            plan_requests(30, -1.0)
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 50) == 50
+        assert percentile(values, 99) == 99
+        assert percentile(values, 100) == 100
+
+    def test_small_samples_and_empty(self):
+        assert percentile([], 99) == 0.0
+        assert percentile([3.0], 50) == 3.0
+        assert percentile([1.0, 2.0], 99) == 2.0
+
+    def test_order_independent(self):
+        assert percentile([5, 1, 4, 2, 3], 90) == percentile([1, 2, 3, 4, 5], 90)
+
+
+def _valid_payload():
+    latency = {"count": 10, "p50_s": 0.001, "p90_s": 0.002, "p99_s": 0.003,
+               "max_s": 0.004}
+    return {
+        "format": SERVICE_BENCH_FORMAT,
+        "quick": True,
+        "config": {"rps": 30.0, "duration_s": 5.0, "seed": 7,
+                   "tick_interval_s": 0.05, "planned_tenants": 10},
+        "requests": {"total": 20, "admitted": 10, "rejected": {},
+                     "detached": 10, "already_gone": 0, "errors": 0},
+        "latency_s": {"admit": dict(latency), "detach": dict(latency)},
+        "invariants": {"violations": 0, "intervals_checked": 42},
+        "determinism": {"journal_commands": 30, "replay_identical": True,
+                        "snapshot_sha256": "0" * 64},
+        "slo": {"p99_budget_s": 0.25, "passed": True},
+    }
+
+
+class TestBenchSchema:
+    def test_valid_payload_passes(self):
+        payload = _valid_payload()
+        assert validate_service_bench(payload) is payload
+
+    @pytest.mark.parametrize(
+        "mutate,fragment",
+        [
+            (lambda p: p.update(format="dcat-bench/v1"), "format"),
+            (lambda p: p.update(quick="yes"), "quick"),
+            (lambda p: p.pop("invariants"), "invariants"),
+            (lambda p: p["requests"].update(total=-1), "requests.total"),
+            (lambda p: p["requests"].update(rejected=[]), "requests.rejected"),
+            (lambda p: p["latency_s"]["admit"].update(p99_s=-0.1),
+             "latency_s.admit.p99_s"),
+            (lambda p: p["latency_s"]["admit"].update(p50_s=9.0),
+             "p50_s exceeds p99_s"),
+            (lambda p: p["invariants"].update(violations=True),
+             "invariants.violations"),
+            (lambda p: p["determinism"].update(snapshot_sha256="abc"),
+             "snapshot_sha256"),
+            (lambda p: p["determinism"].update(replay_identical="true"),
+             "replay_identical"),
+            (lambda p: p["slo"].update(p99_budget_s=0), "p99_budget_s"),
+        ],
+    )
+    def test_broken_payloads_name_the_field(self, mutate, fragment):
+        payload = _valid_payload()
+        mutate(payload)
+        with pytest.raises(ValueError, match=fragment.replace(".", r"\.")):
+            validate_service_bench(payload)
+
+    def test_writer_validates_before_writing(self, tmp_path):
+        payload = _valid_payload()
+        payload["slo"].pop("passed")
+        target = tmp_path / "B.json"
+        with pytest.raises(ValueError):
+            write_service_bench(payload, str(target))
+        assert not target.exists()
+
+    def test_writer_round_trips(self, tmp_path):
+        target = tmp_path / "B.json"
+        write_service_bench(_valid_payload(), str(target))
+        loaded = json.loads(target.read_text())
+        validate_service_bench(loaded)
+
+
+class TestRunLoadtest:
+    def test_short_end_to_end_run(self, tmp_path):
+        out = tmp_path / "BENCH_service.json"
+        payload, failures = run_loadtest(
+            CONFIG, out=str(out), quick=True, rps=25, duration_s=1.2, seed=3
+        )
+        assert failures == []
+        assert payload["requests"]["errors"] == 0
+        assert payload["requests"]["admitted"] > 0
+        assert payload["invariants"]["violations"] == 0
+        assert payload["determinism"]["replay_identical"] is True
+        assert payload["slo"]["passed"] is True
+        validate_service_bench(json.loads(out.read_text()))
+
+    def test_quick_mode_waives_the_request_floor(self):
+        # A tiny run in quick mode must not fail on volume alone.
+        payload, failures = run_loadtest(
+            CONFIG, out=None, quick=True, rps=10, duration_s=0.8, seed=5
+        )
+        assert payload["requests"]["total"] < MIN_REQUESTS
+        assert not any("requests driven" in f for f in failures)
+
+    def test_bad_config_raises_service_config_error(self):
+        from repro.service.config import ServiceConfigError
+
+        with pytest.raises(ServiceConfigError, match="tenants"):
+            run_loadtest(dict(CONFIG, tenants=[]), out=None, quick=True)
+
+
+def test_committed_bench_is_valid_and_passing():
+    """The repo's committed BENCH_service.json must satisfy the schema,
+    the request floor, and every acceptance assertion it recorded."""
+    from pathlib import Path
+
+    path = Path(__file__).parent.parent / "BENCH_service.json"
+    payload = validate_service_bench(json.loads(path.read_text()))
+    assert payload["quick"] is False
+    assert payload["requests"]["total"] >= MIN_REQUESTS
+    assert payload["requests"]["errors"] == 0
+    assert payload["invariants"]["violations"] == 0
+    assert payload["determinism"]["replay_identical"] is True
+    assert payload["slo"]["passed"] is True
