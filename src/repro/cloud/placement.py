@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.cache.analytical import AccessPattern
 from repro.cloud.lifecycle import TenantSpec
+from repro.core.grouping import curvature_score
 from repro.workloads.base import PhasedWorkload, Workload
 
 if TYPE_CHECKING:  # placement sees machines; fleet imports placement
@@ -49,9 +50,11 @@ def cache_sensitivity(
 
     Evaluates the analytical LLC model on the workload's largest-footprint
     phase at ``baseline_ways`` and at the full LLC; the slope between the
-    two is how much each extra way is worth.  A streaming scan or a
-    working set that already fits in the reservation scores ~0, exactly the
-    tenants LFOC packs tightly.
+    two — :func:`repro.core.grouping.curvature_score`, the same figure the
+    LFOC allocation strategy computes from learned performance tables — is
+    how much each extra way is worth.  A streaming scan or a working set
+    that already fits in the reservation scores ~0, exactly the tenants
+    LFOC packs tightly.
     """
     if isinstance(workload, PhasedWorkload):
         phases = workload.peek_phases()
@@ -67,12 +70,9 @@ def cache_sensitivity(
     analytic = machine.machine.analytic
     total = machine.machine.num_ways
     ways = min(baseline_ways, total)
-    if ways >= total:
-        return 0.0
-    gain = analytic.hit_rate_fp(phase.footprint, total) - analytic.hit_rate_fp(
-        phase.footprint, ways
+    return curvature_score(
+        lambda w: analytic.hit_rate_fp(phase.footprint, w), ways, total
     )
-    return max(0.0, gain) / (total - ways)
 
 
 class PlacementPolicy(abc.ABC):

@@ -34,6 +34,11 @@ the whole fleet: each machine gets the same rules under a seed derived
 from the plan seed and the machine name, so schedules differ per host but
 the run stays deterministic.  Requires a ``dcat`` manager.
 
+An optional top-level ``"policy"`` string picks the allocation strategy
+for every machine's dcat manager (any name from
+:func:`repro.core.policies.strategy_names`); the CLI's ``--policy``
+overrides it.
+
 Run from the CLI with ``dcat-experiment churn path/to/file.json``.  Every
 validation error names the offending field with its entry context (e.g.
 ``tenants[2].baseline_ways``) and exits with status 2, like plain scenario
@@ -209,12 +214,13 @@ def build_fleet_machines(
     data: Dict[str, Any],
     fidelity: Optional[str] = None,
     machine_bus: Optional[Callable[[str], Any]] = None,
+    policy: Optional[str] = None,
 ) -> Tuple[List[FleetMachine], str, float]:
     """Build the machines a scenario's shared fleet vocabulary describes.
 
     Parses the ``fleet`` / ``manager`` / ``placement`` / ``slo`` /
-    ``faults`` / ``fidelity`` sections — the vocabulary churn scenarios
-    and service configs share — and constructs one
+    ``faults`` / ``fidelity`` / ``policy`` sections — the vocabulary churn
+    scenarios and service configs share — and constructs one
     :class:`FleetMachine` per host with derived per-machine seeds.
 
     Args:
@@ -224,6 +230,9 @@ def build_fleet_machines(
             bus (the service uses per-machine buses so invariant
             checkers never conflate controllers); ``None`` leaves the
             process-default bus.
+        policy: Optional CLI override for the allocation policy; wins
+            over the file's top-level ``policy`` field, which in turn
+            wins over the manager config's own ``policy``.
 
     Returns:
         ``(machines, placement_name, slo_tolerance)``.
@@ -276,6 +285,22 @@ def build_fleet_machines(
     except ScenarioError as exc:
         raise ChurnScenarioError(str(exc)) from None
 
+    alloc_policy = policy
+    if alloc_policy is None and "policy" in data:
+        file_policy = data["policy"]
+        if not isinstance(file_policy, str):
+            raise ChurnScenarioError(
+                f"policy: expected a string, got {type(file_policy).__name__}"
+            )
+        alloc_policy = file_policy
+    if alloc_policy is not None:
+        from repro.core.policies import canonical_name
+
+        try:
+            canonical_name(alloc_policy)
+        except ValueError as exc:
+            raise ChurnScenarioError(f"policy: {exc}") from None
+
     manager_spec = data.get("manager", {"type": "dcat"})
     from repro.harness.scenario_file import _SOCKETS as SOCKET_FACTORIES
 
@@ -288,7 +313,9 @@ def build_fleet_machines(
             interval_s=interval_s,
         )
         try:
-            manager = build_manager(_require_mapping(manager_spec, "manager"))
+            manager = build_manager(
+                _require_mapping(manager_spec, "manager"), policy=alloc_policy
+            )
         except ScenarioError as exc:
             raise ChurnScenarioError(f"manager: {exc}") from None
         machine_plan = None
@@ -324,6 +351,7 @@ def build_fleet_machines(
 def load_churn_scenario(
     source: Union[str, Path, Dict[str, Any]],
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> Tuple[CloudFleet, float]:
     """Parse a churn scenario (dict, JSON string, or file path).
 
@@ -333,7 +361,9 @@ def load_churn_scenario(
     instance under a seed derived from the substrate seed and the machine
     name, so exact tag-array streams differ per host but the run stays
     deterministic.  The ``fidelity`` argument (the CLI's ``--fidelity``)
-    overrides the file's field.
+    overrides the file's field, and the ``policy`` argument (the CLI's
+    ``--policy``) likewise overrides the file's top-level ``policy`` and
+    the manager config's ``policy``.
 
     Returns:
         ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
@@ -374,7 +404,9 @@ def load_churn_scenario(
         dupes = sorted({n for n in names if names.count(n) > 1})
         raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
 
-    machines, placement, tolerance = build_fleet_machines(data, fidelity=fidelity)
+    machines, placement, tolerance = build_fleet_machines(
+        data, fidelity=fidelity, policy=policy
+    )
 
     fleet = CloudFleet(
         machines=machines,
@@ -390,6 +422,7 @@ def run_churn_scenario(
     metrics: Optional[str] = None,
     trace: Optional[str] = None,
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> FleetResult:
     """Load and run a churn scenario end to end.
 
@@ -403,9 +436,13 @@ def run_churn_scenario(
             (includes any ``FidelityDivergence`` stream from mixed mode).
         fidelity: Optional fidelity override (``--fidelity``); wins over
             the scenario file's own ``fidelity`` field.
+        policy: Optional allocation-policy override (``--policy``); wins
+            over the scenario file's ``policy`` fields.
     """
     if metrics is None and trace is None:
-        fleet, duration_s = load_churn_scenario(source, fidelity=fidelity)
+        fleet, duration_s = load_churn_scenario(
+            source, fidelity=fidelity, policy=policy
+        )
         return fleet.run(duration_s)
 
     from contextlib import ExitStack
@@ -428,7 +465,9 @@ def run_churn_scenario(
         stack.enter_context(use_bus(bus))
         if profiler is not None:
             stack.enter_context(use_profiler(profiler))
-        fleet, duration_s = load_churn_scenario(source, fidelity=fidelity)
+        fleet, duration_s = load_churn_scenario(
+            source, fidelity=fidelity, policy=policy
+        )
         result = fleet.run(duration_s)
     if profiler is not None and metrics is not None:
         record_slo_stats(profiler.registry, result.tenants)

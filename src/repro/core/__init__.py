@@ -1,16 +1,32 @@
 """dCat core: the dynamic cache-allocation controller (the paper's contribution)."""
 
-from repro.core.allocation import AllocationInput, optimize_way_split, plan_allocation
+from repro.core.allocation import (
+    AllocationInput,
+    base_plan,
+    optimize_way_split,
+    plan_allocation,
+)
 from repro.core.classifier import Decision, categorize
 from repro.core.config import AllocationPolicy, DCatConfig
 from repro.core.controller import DCatController, StepResult, WorkloadStatus
+from repro.core.hints import DeclaredPhase, DeclaredSchedule, PhaseHint
 from repro.core.perftable import PerformanceTable, PhaseTable
 from repro.core.phase import PhaseDetector, PhaseSignature
+from repro.core.policies import (
+    AllocationStrategy,
+    get_strategy,
+    normalize_policy,
+    policy_name,
+    register_strategy,
+    strategy_names,
+    use_policy,
+)
 from repro.core.states import ALLOWED_TRANSITIONS, WorkloadState, can_transition
 from repro.core.stats import WorkloadRecord
 
 __all__ = [
     "AllocationInput",
+    "base_plan",
     "optimize_way_split",
     "plan_allocation",
     "Decision",
@@ -20,10 +36,20 @@ __all__ = [
     "DCatController",
     "StepResult",
     "WorkloadStatus",
+    "DeclaredPhase",
+    "DeclaredSchedule",
+    "PhaseHint",
     "PerformanceTable",
     "PhaseTable",
     "PhaseDetector",
     "PhaseSignature",
+    "AllocationStrategy",
+    "get_strategy",
+    "normalize_policy",
+    "policy_name",
+    "register_strategy",
+    "strategy_names",
+    "use_policy",
     "ALLOWED_TRANSITIONS",
     "WorkloadState",
     "can_transition",

@@ -15,6 +15,12 @@ at most the socket's ways.  The ordering the paper prescribes:
    performance tables: maximize the sum of normalized IPCs subject to the
    way budget, never dropping anyone below baseline (the §3.5 worked
    example with workloads A, B and C).
+
+Steps 1–3 are exposed as :func:`base_plan`; step 4 is one of several
+pluggable objectives.  :func:`plan_allocation` dispatches through the
+:mod:`repro.core.policies` strategy registry, where the two §3.5
+objectives are registered alongside LFOC-style clustering, declared
+phase-hint apportioning and Memshare-style reserved+pooled harvesting.
 """
 
 from __future__ import annotations
@@ -22,11 +28,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.config import DCatConfig
+from repro.core.hints import PhaseHint
 from repro.core.perftable import PhaseTable
 from repro.core.states import WorkloadState
 
-__all__ = ["AllocationInput", "plan_allocation", "optimize_way_split"]
+__all__ = ["AllocationInput", "base_plan", "plan_allocation", "optimize_way_split"]
 
 
 @dataclass(frozen=True)
@@ -40,6 +47,7 @@ class AllocationInput:
     baseline_ways: int
     reclaiming: bool = False
     phase_table: Optional[PhaseTable] = None
+    hint: Optional[PhaseHint] = None
 
 
 def plan_allocation(
@@ -48,6 +56,11 @@ def plan_allocation(
     config: DCatConfig,
 ) -> Dict[str, int]:
     """Produce the next ``{workload: ways}`` plan.
+
+    Dispatches to the registered :class:`~repro.core.policies
+    .AllocationStrategy` named by ``config.policy``; the legacy enum
+    members resolve to the ``max_fairness`` / ``max_performance``
+    strategies, which reproduce the pre-registry behaviour byte for byte.
 
     Raises:
         ValueError: If even the guaranteed minimums cannot fit (more
@@ -58,7 +71,26 @@ def plan_allocation(
             f"{len(inputs)} workloads cannot each hold {config.min_ways} way(s) "
             f"of a {total_ways}-way cache"
         )
+    # Imported here, not at module level: policies builds on base_plan.
+    from repro.core.policies import get_strategy
 
+    plan = get_strategy(config.policy).plan(inputs, total_ways, config)
+    assert sum(plan.values()) <= total_ways
+    return plan
+
+
+def base_plan(
+    inputs: Sequence[AllocationInput],
+    total_ways: int,
+    config: DCatConfig,
+) -> Dict[str, int]:
+    """Steps 1–3 of §3.5, shared by every strategy: reclaim, donate, grant.
+
+    Returns a plan where every workload holds at least ``min_ways``, the
+    budget fits the socket, and — when baselines are feasible — nobody
+    asking for at least its baseline sits below it.  Strategies refine this
+    plan without weakening those invariants.
+    """
     plan: Dict[str, int] = {
         inp.workload_id: max(config.min_ways, inp.target_ways) for inp in inputs
     }
@@ -77,11 +109,6 @@ def plan_allocation(
                 plan[inp.workload_id] += grant
                 free -= grant
 
-    # -- step 4: policy rebalancing -------------------------------------------
-    if config.policy is AllocationPolicy.MAX_PERFORMANCE:
-        _rebalance_max_performance(plan, inputs, total_ways, config)
-
-    assert sum(plan.values()) <= total_ways
     return plan
 
 

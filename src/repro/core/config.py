@@ -12,12 +12,19 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional, Union
 
 __all__ = ["AllocationPolicy", "DCatConfig"]
 
 
 class AllocationPolicy(enum.Enum):
-    """The two allocation objectives of paper §3.5."""
+    """The two allocation objectives of paper §3.5.
+
+    Kept for backward compatibility: these two members are the legacy
+    spellings of the ``max_fairness`` / ``max_performance`` strategies in
+    the :mod:`repro.core.policies` registry, which also hosts the rival
+    objectives (``lfoc_clustering``, ``phase_hint``, ``reserved_pooled``).
+    """
 
     MAX_FAIRNESS = "max_fairness"
     MAX_PERFORMANCE = "max_performance"
@@ -49,7 +56,10 @@ class DCatConfig:
             below which the workload counts as idle (immediate Donor).
         min_ways: Smallest allocation CAT permits (1 way on Intel).
         interval_s: Control period (paper's default 1 s).
-        policy: Which §3.5 allocation objective to pursue.
+        policy: Which allocation objective to pursue — an
+            :class:`AllocationPolicy` member, any registered strategy name
+            or alias (case/separator-insensitive), or None to pick up the
+            process default (see :func:`repro.core.policies.use_policy`).
         grow_step_ways: Ways added per control round to a growing workload.
         shrink_step_ways: Ways removed per round from a low-miss-rate Donor.
         use_performance_table: Reuse per-phase performance tables to jump
@@ -89,7 +99,7 @@ class DCatConfig:
     idle_cycles_fraction: float = 0.05
     min_ways: int = 1
     interval_s: float = 1.0
-    policy: AllocationPolicy = AllocationPolicy.MAX_FAIRNESS
+    policy: Optional[Union[AllocationPolicy, str]] = None
     grow_step_ways: int = 1
     shrink_step_ways: int = 1
     use_performance_table: bool = True
@@ -104,6 +114,10 @@ class DCatConfig:
     quarantine_after: int = 3
 
     def __post_init__(self) -> None:
+        # Imported here, not at module level: policies imports this module.
+        from repro.core.policies import normalize_policy
+
+        self.policy = normalize_policy(self.policy)
         if not 0 < self.llc_miss_rate_thr < 1:
             raise ValueError("llc_miss_rate_thr must be in (0, 1)")
         if not 0 < self.ipc_imp_thr < 1:

@@ -34,6 +34,7 @@ from repro.cat.pqos import PqosError, PqosL3Ca, PqosLibrary
 from repro.core.allocation import AllocationInput, plan_allocation
 from repro.core.classifier import Decision, categorize, _improvement
 from repro.core.config import DCatConfig
+from repro.core.hints import DeclaredSchedule, PhaseHint
 from repro.core.states import WorkloadState
 from repro.core.stats import WorkloadRecord
 from repro.core.phase import PhaseDetector
@@ -165,14 +166,19 @@ class DCatController:
     # -- registration ----------------------------------------------------------
 
     def register_workload(
-        self, workload_id: str, cores: Sequence[int], baseline_ways: int
+        self,
+        workload_id: str,
+        cores: Sequence[int],
+        baseline_ways: int,
+        declared_schedule: Optional[DeclaredSchedule] = None,
     ) -> WorkloadRecord:
         """Start managing a workload (a VM / container / tenant).
 
         Assigns the lowest free class of service and associates the cores.
         Ids released by :meth:`deregister_workload` are reused, so a
         register/deregister churn can never collide two live workloads on
-        one COS.
+        one COS.  An optional declared phase schedule is stored on the
+        record and offered to the allocation strategy each interval.
         """
         if workload_id in self._records:
             raise ValueError(f"workload {workload_id!r} already registered")
@@ -188,6 +194,7 @@ class DCatController:
             cos_id=cos_id,
             baseline_ways=baseline_ways,
             detector=PhaseDetector(threshold=self.config.phase_change_thr),
+            declared=declared_schedule,
         )
         self._records[workload_id] = record
         done: List[int] = []
@@ -270,7 +277,11 @@ class DCatController:
             )
 
     def admit_workload(
-        self, workload_id: str, cores: Sequence[int], baseline_ways: int
+        self,
+        workload_id: str,
+        cores: Sequence[int],
+        baseline_ways: int,
+        declared_schedule: Optional[DeclaredSchedule] = None,
     ) -> WorkloadRecord:
         """Register a workload mid-run and carve out its baseline allocation.
 
@@ -287,7 +298,9 @@ class DCatController:
             PqosError: If the hardware write path keeps failing beyond the
                 retry budget (the registration is likewise rolled back).
         """
-        record = self.register_workload(workload_id, cores, baseline_ways)
+        record = self.register_workload(
+            workload_id, cores, baseline_ways, declared_schedule=declared_schedule
+        )
         plan = {
             wid: rec.ways
             for wid, rec in self._records.items()
@@ -485,6 +498,17 @@ class DCatController:
                 baseline_ways=self._records[wid].baseline_ways,
                 reclaiming=ctx.reclaiming[wid],
                 phase_table=ctx.phase_tables[wid],
+                hint=(
+                    PhaseHint(
+                        time_s=ctx.time_s,
+                        schedule=self._records[wid].declared,
+                        measured_refs_per_instr=(
+                            ctx.samples[wid].mem_refs_per_instr
+                        ),
+                    )
+                    if self._records[wid].declared is not None
+                    else None
+                ),
             )
             for wid in self._records
         ]

@@ -18,11 +18,40 @@ do not bounce between groups every interval.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Sequence
 
 from repro.core.states import WorkloadState
 
-__all__ = ["GroupPlan", "TenantGrouper"]
+__all__ = ["GroupPlan", "TenantGrouper", "curvature_score"]
+
+
+def curvature_score(
+    value_of: Callable[[int], float], floor: int, ceiling: int
+) -> float:
+    """Mean per-way gain of a ways->value curve between floor and ceiling.
+
+    The LFOC-style sensitivity figure both layers use: placement evaluates
+    the analytical hit-rate curve between a tenant's reservation and the
+    full LLC; the LFOC allocation strategy evaluates a learned performance
+    table between its smallest and largest recorded allocations.  A curve
+    that is flat past its floor (a streaming scan, or a working set already
+    resident) scores ~0 — exactly the workloads that can be packed tightly
+    without hurting anyone.
+
+    Args:
+        value_of: The curve (hit rate, normalized IPC, ...) as a function
+            of the way count; only evaluated at ``floor`` and ``ceiling``.
+        floor: The allocation the workload already holds (or is owed).
+        ceiling: The largest allocation worth considering.
+
+    Returns:
+        ``max(0, value_of(ceiling) - value_of(floor)) / (ceiling - floor)``,
+        or 0.0 when ``ceiling <= floor`` (no headroom to score).
+    """
+    if ceiling <= floor:
+        return 0.0
+    gain = value_of(ceiling) - value_of(floor)
+    return max(0.0, gain) / (ceiling - floor)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,137 @@
+"""Declared phase schedules: operator hints the controller may trust.
+
+dCat learns a workload's phase structure online — the detector notices a
+phase change, the controller reclaims to baseline, and the performance
+table is rebuilt from scratch.  Com-CAS-style systems instead let the
+*tenant* declare its phase schedule up front ("compute for 10 s at 2 ways,
+then a scan wanting 6").  A declared schedule can never be blindly trusted
+(tenants lie, compilers mispredict), so each declared phase may carry the
+``refs_per_instr`` signature the tenant expects; a strategy following the
+schedule compares it against the measured counters and falls back to the
+detector-driven plan when they diverge (trust-but-verify).
+
+The types here are deliberately dependency-free (stdlib only) so the
+controller, the allocation strategies and the workload builders can all
+share them without layering cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+__all__ = ["DeclaredPhase", "DeclaredSchedule", "PhaseHint"]
+
+
+@dataclass(frozen=True)
+class DeclaredPhase:
+    """One entry of a declared schedule.
+
+    Attributes:
+        start_s: Workload-relative time at which the phase begins.
+        preferred_ways: The LLC allocation the tenant claims this phase
+            wants (clamped to the socket by the consuming strategy).
+        refs_per_instr: Optional expected memory-accesses-per-instruction
+            signature; when present, strategies verify the measured
+            counters against it before trusting ``preferred_ways``.
+    """
+
+    start_s: float
+    preferred_ways: int
+    refs_per_instr: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class DeclaredSchedule:
+    """An ordered, immutable sequence of declared phases."""
+
+    phases: Tuple[DeclaredPhase, ...]
+
+    def active_at(self, time_s: float) -> Optional[DeclaredPhase]:
+        """The declared phase covering ``time_s``, or None before the first."""
+        current: Optional[DeclaredPhase] = None
+        for phase in self.phases:
+            if phase.start_s <= time_s:
+                current = phase
+            else:
+                break
+        return current
+
+    @classmethod
+    def from_spec(cls, data: Any, ctx: str = "declared_phases") -> "DeclaredSchedule":
+        """Parse the workload-spec ``declared_phases`` list.
+
+        Expected shape::
+
+            [{"start_s": 0, "preferred_ways": 2, "refs_per_instr": 0.05},
+             {"start_s": 10, "preferred_ways": 6}]
+
+        Raises:
+            ValueError: Naming the offending field (``ctx[i].key``).
+        """
+        if not isinstance(data, list) or not data:
+            raise ValueError(f"{ctx}: expected a non-empty list of phase objects")
+        phases = []
+        prev_start = None
+        for i, raw in enumerate(data):
+            entry_ctx = f"{ctx}[{i}]"
+            if not isinstance(raw, dict):
+                raise ValueError(
+                    f"{entry_ctx}: expected an object, got {type(raw).__name__}"
+                )
+            start = raw.get("start_s", None)
+            if isinstance(start, bool) or not isinstance(start, (int, float)):
+                raise ValueError(f"{entry_ctx}.start_s: expected a number")
+            if start < 0:
+                raise ValueError(f"{entry_ctx}.start_s: must be >= 0, got {start}")
+            if prev_start is not None and start <= prev_start:
+                raise ValueError(
+                    f"{entry_ctx}.start_s: must increase "
+                    f"(got {start} after {prev_start})"
+                )
+            prev_start = start
+            ways = raw.get("preferred_ways", None)
+            if isinstance(ways, bool) or not isinstance(ways, int):
+                raise ValueError(f"{entry_ctx}.preferred_ways: expected an integer")
+            if ways < 1:
+                raise ValueError(
+                    f"{entry_ctx}.preferred_ways: must be >= 1, got {ways}"
+                )
+            refs = raw.get("refs_per_instr", None)
+            if refs is not None:
+                if isinstance(refs, bool) or not isinstance(refs, (int, float)):
+                    raise ValueError(
+                        f"{entry_ctx}.refs_per_instr: expected a number"
+                    )
+                if refs <= 0:
+                    raise ValueError(
+                        f"{entry_ctx}.refs_per_instr: must be positive, got {refs}"
+                    )
+                refs = float(refs)
+            unknown = sorted(
+                set(raw) - {"start_s", "preferred_ways", "refs_per_instr"}
+            )
+            if unknown:
+                raise ValueError(f"{entry_ctx}: unknown field(s) {unknown}")
+            phases.append(
+                DeclaredPhase(
+                    start_s=float(start), preferred_ways=ways, refs_per_instr=refs
+                )
+            )
+        return cls(phases=tuple(phases))
+
+
+@dataclass(frozen=True)
+class PhaseHint:
+    """Per-interval hint the controller hands the allocation strategy.
+
+    Attributes:
+        time_s: Controller time of the interval being planned.
+        schedule: The workload's declared phase schedule.
+        measured_refs_per_instr: This interval's measured
+            memory-accesses-per-instruction, for trust-but-verify.
+    """
+
+    time_s: float
+    schedule: DeclaredSchedule
+    measured_refs_per_instr: float

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
+from repro.core.hints import DeclaredSchedule
 from repro.core.perftable import PerformanceTable
 from repro.core.phase import PhaseDetector, PhaseSignature
 from repro.core.states import WorkloadState
@@ -53,6 +54,9 @@ class WorkloadRecord:
             the quarantine threshold and resets on the first clean sample.
         quarantined: Whether the hardened controller has parked this
             workload at its reserved baseline until its counters recover.
+        declared: Optional tenant-declared phase schedule; handed to the
+            allocation strategy each interval as a trust-but-verify hint
+            (only the ``phase_hint`` strategy consumes it today).
     """
 
     workload_id: str
@@ -74,6 +78,7 @@ class WorkloadRecord:
     idle: bool = False
     erratic_streak: int = 0
     quarantined: bool = False
+    declared: Optional[DeclaredSchedule] = None
 
     def __post_init__(self) -> None:
         if self.baseline_ways < 1:

@@ -30,21 +30,31 @@ def derive_seed(seed: int, experiment_id: str) -> int:
 
 
 def _run_one(
-    experiment_id: str, seed: int, fidelity: Optional[str] = None
+    experiment_id: str,
+    seed: int,
+    fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> "ExperimentResult":
     """Worker entry point: run one experiment under its derived seed.
 
-    ``fidelity`` installs the process-default cache substrate for the
-    experiment's simulations; applied here (not in the parent) so it also
-    takes effect inside process-pool workers.
+    ``fidelity`` installs the process-default cache substrate and
+    ``policy`` the process-default allocation strategy for the
+    experiment's simulations; applied here (not in the parent) so they
+    also take effect inside process-pool workers.
     """
+    from contextlib import ExitStack
+
     from repro.harness.registry import run_experiment
 
-    if fidelity is None:
-        return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
-    from repro.platform.substrate import use_fidelity
+    with ExitStack() as stack:
+        if fidelity is not None:
+            from repro.platform.substrate import use_fidelity
 
-    with use_fidelity(fidelity):
+            stack.enter_context(use_fidelity(fidelity))
+        if policy is not None:
+            from repro.core.policies import use_policy
+
+            stack.enter_context(use_policy(policy))
         return run_experiment(experiment_id, seed=derive_seed(seed, experiment_id))
 
 
@@ -55,6 +65,7 @@ def run_experiments(
     trace_path: Optional[str] = None,
     metrics_path: Optional[str] = None,
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> "List[ExperimentResult]":
     """Run experiments serially (``jobs <= 1``) or across a process pool.
 
@@ -72,6 +83,10 @@ def run_experiments(
         fidelity: Optional cache-substrate fidelity (``analytical`` /
             ``exact`` / ``mixed``) installed as the process default around
             each experiment, in workers too.
+        policy: Optional allocation strategy (any registered name)
+            installed as the process default around each experiment, in
+            workers too; configs built without an explicit policy pick
+            it up.
 
     Returns:
         Results in the order of ``ids``, identical for any ``jobs`` value.
@@ -106,14 +121,24 @@ def run_experiments(
                 f"unknown fidelity {fidelity!r}; use one of {list(FIDELITIES)}"
             )
 
+    if policy is not None:
+        from repro.core.policies import canonical_name
+
+        canonical_name(policy)  # raises ValueError listing the registry
+
     if jobs <= 1 or len(ids) <= 1:
         if trace_path is not None or metrics_path is not None:
-            return _run_observed(ids, seed, trace_path, metrics_path, fidelity)
-        return [_run_one(experiment_id, seed, fidelity) for experiment_id in ids]
+            return _run_observed(
+                ids, seed, trace_path, metrics_path, fidelity, policy
+            )
+        return [
+            _run_one(experiment_id, seed, fidelity, policy)
+            for experiment_id in ids
+        ]
 
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
         futures = [
-            pool.submit(_run_one, experiment_id, seed, fidelity)
+            pool.submit(_run_one, experiment_id, seed, fidelity, policy)
             for experiment_id in ids
         ]
         return [f.result() for f in futures]
@@ -125,6 +150,7 @@ def _run_observed(
     trace_path: Optional[str],
     metrics_path: Optional[str],
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> "List[ExperimentResult]":
     """Serial run under observation: JSONL trace and/or metrics snapshot.
 
@@ -167,7 +193,7 @@ def _run_observed(
             if collector is not None:
                 bus.subscribe(collector.on_event)
             with use_bus(bus):
-                result = _run_one(experiment_id, seed, fidelity)
+                result = _run_one(experiment_id, seed, fidelity, policy)
             if metrics is not None and metrics.counters:
                 for line in render_metrics(metrics).splitlines():
                     result.note(line)

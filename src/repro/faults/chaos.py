@@ -217,6 +217,7 @@ def run_chaos(
     trace: Optional[str] = None,
     metrics: Optional[str] = None,
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> ChaosReport:
     """Run a chaos scenario end to end and report guarantee retention.
 
@@ -233,6 +234,8 @@ def run_chaos(
             The report itself is unaffected.
         fidelity: Optional fidelity override (``--fidelity``); wins over
             the scenario's own ``fidelity`` field.
+        policy: Optional allocation-policy override (``--policy``); wins
+            over the scenario's manager config.
 
     Raises:
         ScenarioError: On malformed scenario fields.
@@ -256,7 +259,9 @@ def run_chaos(
     plan = FaultPlan.from_spec(data.get("faults", {"seed": 0}))
     patience = int(data.get("patience", 5))
     scenario = {k: v for k, v in data.items() if k not in _CHAOS_KEYS}
-    machine, vms, manager, duration_s, fidelity_spec = load_scenario(scenario)
+    machine, vms, manager, duration_s, fidelity_spec = load_scenario(
+        scenario, policy=policy
+    )
     if fidelity is not None:
         fidelity_spec = parse_fidelity({"fidelity": fidelity}, ctx="--fidelity")
     if not isinstance(manager, DCatManager):

@@ -15,15 +15,22 @@ Usage::
     dcat-experiment bench [--quick] [--out BENCH_controller.json]
     dcat-experiment serve examples/service.json [--port 8787] [--metrics serve.prom]
     dcat-experiment loadtest examples/service.json [--quick] [--out BENCH_service.json]
+    dcat-experiment tournament [--quick] [--out tournament.json] [--json]
+    dcat-experiment churn my_churn.json --policy lfoc_clustering
 
 ``--metrics PATH`` writes a telemetry snapshot of the run — per-stage
 timing histograms and controller/cloud gauges — as Prometheus text at
 ``PATH`` plus a JSON twin at ``PATH.json``, leaving the printed reports
 untouched.  ``--fidelity analytical|exact|mixed`` selects the cache
 substrate for run/scenario/churn/chaos (see
-:mod:`repro.platform.substrate`).  ``bench`` times the hot paths and
-writes the ``dcat-bench/v1`` payload that seeds the repo's perf
-trajectory.
+:mod:`repro.platform.substrate`).  ``--policy NAME`` picks the
+allocation strategy (any name from
+:func:`repro.core.policies.strategy_names`) for
+run/scenario/churn/chaos/serve/loadtest, overriding scenario files.
+``bench`` times the hot paths and writes the ``dcat-bench/v1`` payload
+that seeds the repo's perf trajectory.  ``tournament`` races every
+registered strategy across churn scenarios with faults on/off and
+emits a schema-validated Pareto report.
 """
 
 from __future__ import annotations
@@ -70,6 +77,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write Prometheus text + JSON telemetry (forces a serial run)",
     )
     _add_fidelity_flag(run)
+    _add_policy_flag(run)
     scenario = sub.add_parser(
         "scenario", help="run a JSON scenario file (see repro.harness.scenario_file)"
     )
@@ -81,6 +89,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="VM(s) to print timelines for (default: all)",
     )
     _add_fidelity_flag(scenario)
+    _add_policy_flag(scenario)
     churn = sub.add_parser(
         "churn",
         help="run a JSON churn scenario over a machine fleet (see repro.cloud.scenario)",
@@ -99,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace of the fleet run",
     )
     _add_fidelity_flag(churn)
+    _add_policy_flag(churn)
     chaos = sub.add_parser(
         "chaos",
         help="run a fault-injection scenario and report guarantee retention "
@@ -123,6 +133,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="print the report as JSON instead of text",
     )
     _add_fidelity_flag(chaos)
+    _add_policy_flag(chaos)
     bench = sub.add_parser(
         "bench",
         help="time the hot paths and write a dcat-bench/v1 JSON payload",
@@ -166,6 +177,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a JSONL event trace of everything the fleet did",
     )
     _add_fidelity_flag(serve)
+    _add_policy_flag(serve)
     loadtest = sub.add_parser(
         "loadtest",
         help="boot a daemon, drive open-loop Poisson tenant churn over HTTP, "
@@ -192,6 +204,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="where to write the payload (default: %(default)s)",
     )
     _add_fidelity_flag(loadtest)
+    _add_policy_flag(loadtest)
+    tournament = sub.add_parser(
+        "tournament",
+        help="race every registered allocation strategy across churn "
+        "scenarios with faults on/off; writes a dcat-tournament/v1 "
+        "Pareto report",
+    )
+    tournament.add_argument(
+        "--seed", type=int, default=1234, help="simulation seed"
+    )
+    tournament.add_argument(
+        "--quick",
+        action="store_true",
+        help="3 policies and short scenarios for smoke runs (same schema)",
+    )
+    tournament.add_argument(
+        "--out",
+        metavar="PATH",
+        default="tournament.json",
+        help="where to write the JSON report (default: %(default)s)",
+    )
+    tournament.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report payload as JSON instead of markdown",
+    )
     return parser
 
 
@@ -221,12 +259,41 @@ def _check_fidelity(args) -> Optional[str]:
     return None
 
 
+def _add_policy_flag(parser: argparse.ArgumentParser) -> None:
+    # Like --fidelity: validated manually in main() rather than with
+    # choices=, so unknown names get the field-contextual error + exit 2.
+    parser.add_argument(
+        "--policy",
+        metavar="NAME",
+        default=None,
+        help="allocation strategy (e.g. max_fairness, max_performance, "
+        "lfoc_clustering, phase_hint, reserved_pooled); overrides the "
+        "scenario file's policy",
+    )
+
+
+def _check_policy(args) -> Optional[str]:
+    """Field-contextual validation for --policy; returns an error or None."""
+    policy = getattr(args, "policy", None)
+    if policy is None:
+        return None
+    from repro.core.policies import canonical_name
+
+    try:
+        canonical_name(policy)
+    except ValueError as exc:
+        return f"--policy: {exc}"
+    return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    error = _check_fidelity(args)
+    error = _check_fidelity(args) or _check_policy(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
+    if args.command == "tournament":
+        return _run_tournament(args)
     if args.command == "scenario":
         return _run_scenario(args)
     if args.command == "churn":
@@ -258,6 +325,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_path=args.trace,
             metrics_path=args.metrics,
             fidelity=args.fidelity,
+            policy=args.policy,
         )
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
@@ -278,7 +346,9 @@ def _run_scenario(args) -> int:
     from repro.harness.scenario_file import ScenarioError, run_scenario_file
 
     try:
-        result = run_scenario_file(args.path, fidelity=args.fidelity)
+        result = run_scenario_file(
+            args.path, fidelity=args.fidelity, policy=args.policy
+        )
     except ScenarioError as exc:
         print(f"scenario error: {exc}", file=sys.stderr)
         return 2
@@ -310,6 +380,7 @@ def _run_chaos(args) -> int:
             trace=args.trace,
             metrics=args.metrics,
             fidelity=args.fidelity,
+            policy=args.policy,
         )
     except (ScenarioError, FaultPlanError) as exc:
         print(f"chaos scenario error: {exc}", file=sys.stderr)
@@ -349,7 +420,9 @@ def _run_serve(args) -> int:
         from repro.service.config import load_service_config
         from repro.service.daemon import ControllerDaemon
 
-        config = load_service_config(args.path, fidelity=args.fidelity)
+        config = load_service_config(
+            args.path, fidelity=args.fidelity, policy=args.policy
+        )
         daemon = ControllerDaemon(
             config,
             host=args.host,
@@ -415,6 +488,7 @@ def _run_loadtest(args) -> int:
             duration_s=args.duration,
             seed=args.seed,
             fidelity=args.fidelity,
+            policy=args.policy,
         )
     except ScenarioError as exc:
         print(f"service config error: {exc}", file=sys.stderr)
@@ -445,6 +519,32 @@ def _run_loadtest(args) -> int:
     return 1 if failures else 0
 
 
+def _run_tournament(args) -> int:
+    import json
+
+    from repro.harness.experiments.tournament import (
+        build_tournament_report,
+        render_tournament_markdown,
+        validate_tournament_report,
+    )
+
+    payload = build_tournament_report(seed=args.seed, quick=args.quick)
+    validate_tournament_report(payload)
+    try:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        print(f"cannot write tournament report: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(render_tournament_markdown(payload))
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _run_churn(args) -> int:
     from repro.harness.scenario_file import ScenarioError
 
@@ -456,6 +556,7 @@ def _run_churn(args) -> int:
             metrics=args.metrics,
             trace=args.trace,
             fidelity=args.fidelity,
+            policy=args.policy,
         )
     except ScenarioError as exc:
         print(f"churn scenario error: {exc}", file=sys.stderr)

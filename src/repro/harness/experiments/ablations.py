@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.config import DCatConfig
 from repro.core.states import WorkloadState
 from repro.harness.results import ExperimentResult, TableResult
 from repro.harness.scenarios import build_stage, run_scenario
@@ -120,12 +120,16 @@ def run_ablation_priority(seed: int = 1234) -> ExperimentResult:
     return result
 
 
-def run_ablation_policy(seed: int = 1234) -> ExperimentResult:
-    """Total normalized IPC under the two allocation policies."""
+def run_ablation_policy(
+    seed: int = 1234, duration_s: float = 40.0
+) -> ExperimentResult:
+    """Total normalized IPC under every registered allocation strategy."""
+    from repro.core.policies import strategy_names
     from repro.harness.experiments.timelines import baseline_normalized_ipc
 
     result = ExperimentResult(
-        "ablation_policy", "Sum of normalized IPCs: fairness vs max-performance"
+        "ablation_policy",
+        "Sum of normalized IPCs across allocation strategies",
     )
 
     def factory(machine):
@@ -140,18 +144,18 @@ def run_ablation_policy(seed: int = 1234) -> ExperimentResult:
         )
 
     table = TableResult(headers=["policy", "sum steady norm ipc"])
-    for policy in (AllocationPolicy.MAX_FAIRNESS, AllocationPolicy.MAX_PERFORMANCE):
+    for policy in strategy_names():
         res = run_scenario(
             factory,
             DCatManager(config=DCatConfig(policy=policy)),
-            duration_s=40.0,
+            duration_s=duration_s,
             seed=seed,
         )
         total = 0.0
         for vm in ("mlr-8mb", "mlr-12mb"):
             norm = baseline_normalized_ipc(res, vm, baseline_ways=3)
             total += sum(norm.y[-5:]) / 5
-        table.add_row(policy.value, total)
+        table.add_row(policy, total)
     result.add("totals", table)
     return result
 

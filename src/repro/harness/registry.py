@@ -30,6 +30,7 @@ from repro.harness.experiments.micro import run_fig1, run_fig2, run_fig3, run_fi
 from repro.harness.experiments.params import run_fig8, run_fig9
 from repro.harness.experiments.spec2006 import run_fig17, run_tab3
 from repro.harness.experiments.tables import run_tab1
+from repro.harness.experiments.tournament import run_policy_tournament
 from repro.harness.experiments.timelines import (
     run_fig10,
     run_fig11,
@@ -77,6 +78,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "chaos_guarantee": run_chaos_guarantee,
     "chaos_hardening_ablation": run_chaos_hardening_ablation,
     "fidelity_validation": run_fidelity_validation,
+    "policy_tournament": run_policy_tournament,
     "ablation_perftable": run_ablation_perftable,
     "ablation_priority": run_ablation_priority,
     "ablation_policy": run_ablation_policy,
@@ -92,6 +94,8 @@ SMOKE_KWARGS: Dict[str, Dict[str, object]] = {
     "fig17": {"benchmarks": ["mcf"], "instructions": 2_000_000},
     "tab3": {"benchmarks": ["mcf"], "instructions": 2_000_000},
     "fidelity_validation": {"duration_s": 8.0, "accesses_per_interval": 30_000},
+    "policy_tournament": {"quick": True},
+    "ablation_policy": {"duration_s": 20.0},
 }
 
 

@@ -21,7 +21,24 @@ Example::
       ]
     }
 
+Any workload spec may carry a ``declared_phases`` list — a declared
+phase schedule (:class:`~repro.core.hints.DeclaredSchedule`) of
+``{"start_s": ..., "preferred_ways": ..., "refs_per_instr": ...}``
+objects with strictly increasing ``start_s``; ``refs_per_instr`` is the
+optional signature the ``phase_hint`` allocation strategy verifies the
+declaration against before trusting it (other strategies ignore hints
+entirely)::
+
+    "workload": {"type": "postgres",
+                 "declared_phases": [
+                   {"start_s": 0, "preferred_ways": 3},
+                   {"start_s": 20, "preferred_ways": 6,
+                    "refs_per_instr": 0.4}]}
+
 Run from the CLI with ``dcat-experiment scenario path/to/file.json``.
+The manager config's ``"policy"`` accepts any registered allocation
+strategy name (see :mod:`repro.core.policies`); ``--policy`` on the CLI
+overrides it.
 """
 
 from __future__ import annotations
@@ -30,7 +47,9 @@ import json
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Union
 
-from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.config import DCatConfig
+from repro.core.hints import DeclaredSchedule
+from repro.core.policies import normalize_policy
 from repro.cpu.socket import SocketSpec
 from repro.mem.address import MB
 from repro.platform.machine import Machine
@@ -153,7 +172,9 @@ def build_workload(kind: str, name: str, spec: Dict[str, Any]) -> Workload:
     """Build one workload from its scenario-file ``workload`` spec.
 
     Shared by plain scenarios and the cloud layer's churn scenarios, so
-    both file formats accept exactly the same workload descriptions.
+    both file formats accept exactly the same workload descriptions —
+    including the optional ``declared_phases`` schedule consumed by the
+    ``phase_hint`` allocation strategy.
 
     Raises:
         ScenarioError: For an unknown ``kind`` or malformed ``spec``.
@@ -162,10 +183,31 @@ def build_workload(kind: str, name: str, spec: Dict[str, Any]) -> Workload:
         raise ScenarioError(
             f"unknown workload type {kind!r}; use one of {sorted(_WORKLOADS)}"
         )
-    return _WORKLOADS[kind](name, spec)
+    workload = _WORKLOADS[kind](name, spec)
+    if "declared_phases" in spec:
+        try:
+            workload.declared_schedule = DeclaredSchedule.from_spec(
+                spec["declared_phases"], ctx="workload.declared_phases"
+            )
+        except ValueError as exc:
+            raise ScenarioError(str(exc)) from None
+    return workload
 
 
-def build_manager(spec: Dict[str, Any]) -> CacheManager:
+def build_manager(
+    spec: Dict[str, Any], policy: Optional[str] = None
+) -> CacheManager:
+    """Build the cache manager from a scenario's ``manager`` spec.
+
+    Args:
+        policy: Optional allocation-policy override (``--policy`` or a
+            scenario's top-level ``policy``); wins over the manager
+            config's own ``policy`` field.  Ignored by the shared/static
+            managers, which have no allocation objective.
+
+    Raises:
+        ScenarioError: For an unknown manager type, policy, or config.
+    """
     kind = spec.get("type", "dcat")
     if kind == "shared":
         return SharedCacheManager()
@@ -176,13 +218,13 @@ def build_manager(spec: Dict[str, Any]) -> CacheManager:
             f"unknown manager type {kind!r}; use shared/static/dcat"
         )
     config_spec = dict(spec.get("config", {}))
+    if policy is not None:
+        config_spec["policy"] = policy
     if "policy" in config_spec:
         try:
-            config_spec["policy"] = AllocationPolicy(config_spec["policy"])
-        except ValueError:
-            raise ScenarioError(
-                f"unknown policy {config_spec['policy']!r}"
-            ) from None
+            config_spec["policy"] = normalize_policy(config_spec["policy"])
+        except ValueError as exc:
+            raise ScenarioError(f"policy: {exc}") from None
     try:
         config = DCatConfig(**config_spec)
     except (TypeError, ValueError) as exc:
@@ -243,8 +285,15 @@ def substrate_from_spec(spec: Dict[str, Any]) -> CacheSubstrate:
     )
 
 
-def load_scenario(source: Union[str, Path, Dict[str, Any]]):
+def load_scenario(
+    source: Union[str, Path, Dict[str, Any]],
+    policy: Optional[str] = None,
+):
     """Parse a scenario (dict, JSON string, or file path) into build parts.
+
+    Args:
+        policy: Optional allocation-policy override (``--policy``); wins
+            over the scenario's manager config.
 
     Returns:
         ``(machine, vms, manager, duration_s, fidelity_spec)`` — the last
@@ -299,7 +348,10 @@ def load_scenario(source: Union[str, Path, Dict[str, Any]]):
                 f"use one of {sorted(_WORKLOADS)}"
             )
         name = vm_spec.get("name", f"{kind}-{i}")
-        workload = _WORKLOADS[kind](name, workload_spec)
+        try:
+            workload = build_workload(kind, name, dict(workload_spec))
+        except ScenarioError as exc:
+            raise ScenarioError(f"vms[{i}].{exc}") from None
         vms.append(
             VirtualMachine(
                 name=name,
@@ -312,7 +364,7 @@ def load_scenario(source: Union[str, Path, Dict[str, Any]]):
         raise ScenarioError(f"duplicate VM names: {names}")
     pin_vms(vms, machine.spec)
 
-    manager = build_manager(data.get("manager", {}))
+    manager = build_manager(data.get("manager", {}), policy=policy)
     duration = float(data.get("duration_s", 30.0))
     if duration <= 0:
         raise ScenarioError("duration_s must be positive")
@@ -323,6 +375,7 @@ def load_scenario(source: Union[str, Path, Dict[str, Any]]):
 def run_scenario_file(
     source: Union[str, Path, Dict[str, Any]],
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> SimulationResult:
     """Build and run a scenario; returns the simulation result.
 
@@ -330,8 +383,10 @@ def run_scenario_file(
         source: Scenario dict, JSON string, or file path.
         fidelity: Optional fidelity override (``--fidelity``); wins over
             the scenario file's own ``fidelity`` / ``exact`` fields.
+        policy: Optional allocation-policy override (``--policy``); wins
+            over the scenario's manager config.
     """
-    machine, vms, manager, duration, spec = load_scenario(source)
+    machine, vms, manager, duration, spec = load_scenario(source, policy=policy)
     if fidelity is not None:
         spec = parse_fidelity({"fidelity": fidelity}, ctx="--fidelity")
     sim = CloudSimulation(

@@ -130,7 +130,10 @@ class DCatManager(CacheManager):
         )
         for vm in vms:
             self.controller.register_workload(
-                vm.name, vm.vcpus, baseline_ways=vm.baseline_ways
+                vm.name,
+                vm.vcpus,
+                baseline_ways=vm.baseline_ways,
+                declared_schedule=getattr(vm.workload, "declared_schedule", None),
             )
         self.controller.initialize()
 
@@ -142,7 +145,10 @@ class DCatManager(CacheManager):
         """Admit a VM mid-run: register it and carve out its baseline."""
         assert self.controller is not None, "setup() was not called"
         self.controller.admit_workload(
-            vm.name, vm.vcpus, baseline_ways=vm.baseline_ways
+            vm.name,
+            vm.vcpus,
+            baseline_ways=vm.baseline_ways,
+            declared_schedule=getattr(vm.workload, "declared_schedule", None),
         )
 
     def detach_vm(self, vm_name: str) -> None:

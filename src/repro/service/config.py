@@ -83,6 +83,7 @@ class ServiceConfig:
     data: Dict[str, Any]
     tick_interval_s: float
     fidelity: Optional[str] = None
+    policy: Optional[str] = None
 
     def build(self, bus: Optional[EventBus] = None) -> ServiceSetup:
         """Construct the fleet (and invariant checkers) this config describes.
@@ -102,7 +103,10 @@ class ServiceConfig:
 
         try:
             machines, placement, tolerance = build_fleet_machines(
-                self.data, fidelity=self.fidelity, machine_bus=machine_bus
+                self.data,
+                fidelity=self.fidelity,
+                machine_bus=machine_bus,
+                policy=self.policy,
             )
         except ChurnScenarioError as exc:
             raise ServiceConfigError(str(exc)) from None
@@ -128,8 +132,15 @@ class ServiceConfig:
 def load_service_config(
     source: Union[str, Path, Dict[str, Any]],
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
 ) -> ServiceConfig:
     """Parse and validate a service config (dict, JSON string, or path).
+
+    Args:
+        fidelity: Optional fidelity override (``--fidelity``).
+        policy: Optional allocation-policy override (``--policy``); wins
+            over the config's top-level ``policy`` and the manager
+            config's ``policy``, like in churn scenarios.
 
     Raises:
         ServiceConfigError: On any malformed field, naming the field.
@@ -170,7 +181,10 @@ def load_service_config(
     except ChurnScenarioError as exc:
         raise ServiceConfigError(str(exc)) from None
     config = ServiceConfig(
-        data=dict(data), tick_interval_s=float(tick), fidelity=fidelity
+        data=dict(data),
+        tick_interval_s=float(tick),
+        fidelity=fidelity,
+        policy=policy,
     )
     # Validate the fleet vocabulary eagerly by building it once: config
     # errors surface at load time (CLI exit 2), not mid-serve.

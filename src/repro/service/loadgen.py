@@ -228,6 +228,7 @@ def run_loadtest(
     duration_s: Optional[float] = None,
     seed: int = 7,
     fidelity: Optional[str] = None,
+    policy: Optional[str] = None,
     p99_budget_s: float = 0.25,
 ) -> Tuple[Dict[str, Any], List[str]]:
     """Boot a daemon, load it, verify determinism + SLOs, write the bench.
@@ -241,7 +242,7 @@ def run_loadtest(
         ServiceConfigError: On a malformed service config.
         OSError: If the payload cannot be written.
     """
-    config = load_service_config(source, fidelity=fidelity)
+    config = load_service_config(source, fidelity=fidelity, policy=policy)
     if rps is None:
         rps = 30.0 if quick else 60.0
     if duration_s is None:

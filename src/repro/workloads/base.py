@@ -107,6 +107,9 @@ class Workload:
 
     name: str = "workload"
     parallelism: int = 1
+    # Optional tenant-declared phase schedule (a DeclaredSchedule); the
+    # manager forwards it to the controller as a trust-but-verify hint.
+    declared_schedule = None
 
     def current_phase(self) -> Optional[Phase]:
         """The active phase, or None once the workload has finished."""

@@ -4,13 +4,17 @@ Complements ``test_controller_fuzz.py``: that file drives the whole control
 loop through a simulated substrate; this one hammers
 :func:`repro.core.allocation.plan_allocation` directly with random way
 counts, workload mixes and performance tables, and asserts the §3.5
-contract for **both** allocation policies:
+contract for **every registered allocation strategy**:
 
 * every workload holds at least ``min_ways`` and the plan fits the socket;
 * packing the plan yields contiguous, pairwise-exclusive masks that —
   together with the free pool — cover the LLC exactly;
 * when the baselines fit the cache, no workload asking for at least its
   baseline is ever planned below it (the reservation guarantee).
+
+A golden pin also replays the pre-registry enum dispatch verbatim and
+asserts the ``max_fairness`` / ``max_performance`` strategies remain
+byte-identical to it on every fuzzed case.
 
 ``derandomize=True`` makes every run replay the same seeded case corpus, so
 a failure here reproduces everywhere.
@@ -21,9 +25,17 @@ import pytest
 
 from repro.cat.cos import is_contiguous, mask_way_count
 from repro.cat.layout import pack_contiguous
-from repro.core.allocation import AllocationInput, plan_allocation
+from repro.core.allocation import (
+    AllocationInput,
+    _enforce_budget,
+    _grant_order,
+    _rebalance_max_performance,
+    plan_allocation,
+)
 from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.hints import DeclaredPhase, DeclaredSchedule, PhaseHint
 from repro.core.perftable import PhaseTable
+from repro.core.policies import strategy_names
 from repro.core.states import WorkloadState
 
 TOTAL_WAYS = st.integers(min_value=8, max_value=24)
@@ -118,9 +130,7 @@ def _check_plan(plan, inputs, total_ways, config):
     )
 
 
-@pytest.mark.parametrize(
-    "policy", [AllocationPolicy.MAX_FAIRNESS, AllocationPolicy.MAX_PERFORMANCE]
-)
+@pytest.mark.parametrize("policy", strategy_names())
 @settings(max_examples=200, deadline=None, derandomize=True)
 @given(
     total_ways=TOTAL_WAYS,
@@ -132,6 +142,108 @@ def test_plan_allocation_contract(policy, total_ways, specs):
     if len(inputs) * config.min_ways > total_ways:
         with pytest.raises(ValueError):
             plan_allocation(inputs, total_ways, config)
+        return
+    plan = plan_allocation(inputs, total_ways, config)
+    _check_plan(plan, inputs, total_ways, config)
+
+
+def _legacy_plan_allocation(inputs, total_ways, config, policy):
+    """The pre-registry §3.5 dispatch, replayed verbatim as a golden pin.
+
+    Steps 1–3 inline (reclaim, donate, grant) followed by the enum branch
+    on the policy — exactly the body ``plan_allocation`` had before the
+    strategy registry existed.
+    """
+    if len(inputs) * config.min_ways > total_ways:
+        raise ValueError("cannot fit minimums")
+    plan = {
+        inp.workload_id: max(config.min_ways, inp.target_ways) for inp in inputs
+    }
+    _enforce_budget(plan, inputs, total_ways, config)
+    free = total_ways - sum(plan.values())
+    for priority_states in _grant_order(config):
+        for inp in sorted(inputs, key=lambda i: i.workload_id):
+            if free <= 0:
+                break
+            if inp.state in priority_states and inp.grow_request > 0:
+                grant = min(inp.grow_request, free)
+                plan[inp.workload_id] += grant
+                free -= grant
+    if policy is AllocationPolicy.MAX_PERFORMANCE:
+        _rebalance_max_performance(plan, inputs, total_ways, config)
+    return plan
+
+
+@pytest.mark.parametrize(
+    "policy", [AllocationPolicy.MAX_FAIRNESS, AllocationPolicy.MAX_PERFORMANCE]
+)
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(
+    total_ways=TOTAL_WAYS,
+    specs=st.lists(workload_strategy, min_size=1, max_size=8),
+)
+def test_legacy_policies_byte_identical(policy, total_ways, specs):
+    """Registry dispatch reproduces the pre-refactor enum paths exactly."""
+    config = DCatConfig(policy=policy)
+    inputs = _build_inputs(specs, total_ways)
+    if len(inputs) * config.min_ways > total_ways:
+        return
+    assert plan_allocation(inputs, total_ways, config) == (
+        _legacy_plan_allocation(inputs, total_ways, config, policy)
+    )
+
+
+hint_strategy = st.one_of(
+    st.none(),
+    st.fixed_dictionaries(
+        {
+            "preferred": st.integers(min_value=1, max_value=24),
+            "declared_refs": st.one_of(
+                st.none(), st.floats(min_value=0.05, max_value=1.0)
+            ),
+            "measured_refs": st.floats(min_value=0.01, max_value=1.5),
+        }
+    ),
+)
+
+
+@settings(max_examples=200, deadline=None, derandomize=True)
+@given(
+    total_ways=TOTAL_WAYS,
+    specs=st.lists(workload_strategy, min_size=1, max_size=8),
+    hints=st.lists(hint_strategy, min_size=8, max_size=8),
+)
+def test_phase_hint_contract_with_hints(total_ways, specs, hints):
+    """The hint-guided strategy keeps the §3.5 contract for any hint mix."""
+    config = DCatConfig(policy="phase_hint")
+    inputs = []
+    for inp, hint in zip(_build_inputs(specs, total_ways), hints):
+        if hint is not None:
+            schedule = DeclaredSchedule(
+                phases=(
+                    DeclaredPhase(
+                        start_s=0.0,
+                        preferred_ways=hint["preferred"],
+                        refs_per_instr=hint["declared_refs"],
+                    ),
+                )
+            )
+            inp = AllocationInput(
+                workload_id=inp.workload_id,
+                state=inp.state,
+                target_ways=inp.target_ways,
+                grow_request=inp.grow_request,
+                baseline_ways=inp.baseline_ways,
+                reclaiming=inp.reclaiming,
+                phase_table=inp.phase_table,
+                hint=PhaseHint(
+                    time_s=1.0,
+                    schedule=schedule,
+                    measured_refs_per_instr=hint["measured_refs"],
+                ),
+            )
+        inputs.append(inp)
+    if len(inputs) * config.min_ways > total_ways:
         return
     plan = plan_allocation(inputs, total_ways, config)
     _check_plan(plan, inputs, total_ways, config)

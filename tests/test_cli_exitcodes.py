@@ -67,6 +67,71 @@ class TestFidelityExitCodes:
         assert "== fig3" in capsys.readouterr().out
 
 
+class TestPolicyExitCodes:
+    def test_invalid_policy_exits_2_with_field_context(self, capsys):
+        assert main(["run", "fig3", "--policy", "banana"]) == 2
+        err = capsys.readouterr().err
+        assert "--policy" in err
+        assert "banana" in err
+        assert "max_fairness" in err  # the message lists the registry
+
+    def test_invalid_policy_rejected_before_scenario_load(self, tmp_path, capsys):
+        # Validation happens up front: no scenario file is even opened.
+        for command in ("scenario", "churn", "chaos"):
+            absent = tmp_path / "never-read.json"
+            assert main([command, str(absent), "--policy", "bogus"]) == 2
+            err = capsys.readouterr().err
+            assert "--policy" in err
+            assert "bogus" in err
+
+    def test_policy_alias_runs_clean(self, capsys):
+        assert main(["run", "fig3", "--policy", "lfoc"]) == 0
+        assert "== fig3" in capsys.readouterr().out
+
+    def test_churn_accepts_policy_override(self, capsys):
+        code = main([
+            "churn", f"{FIXTURES}/golden_churn_scenario.json",
+            "--policy", "reserved_pooled",
+        ])
+        assert code == 0
+        assert "== per-tenant SLO ==" in capsys.readouterr().out
+
+    def test_churn_file_policy_field_rejected_when_unknown(self, tmp_path, capsys):
+        scenario = json.loads(
+            (FIXTURES / "golden_churn_scenario.json").read_text()
+        )
+        scenario["policy"] = "telepathy"
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(scenario))
+        assert main(["churn", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "policy" in err
+        assert "telepathy" in err
+
+
+class TestTournamentExitCodes:
+    def test_unwritable_out_exits_2(self, tmp_path, capsys, monkeypatch):
+        import repro.harness.cli as cli_mod
+        from repro.harness.experiments import tournament as tournament_mod
+
+        # Stub the sweep: this test pins the error path, not the race.
+        fake = {"schema": tournament_mod.TOURNAMENT_SCHEMA}
+        monkeypatch.setattr(
+            tournament_mod,
+            "build_tournament_report",
+            lambda seed=1234, quick=False, registry=None: fake,
+        )
+        monkeypatch.setattr(
+            tournament_mod, "validate_tournament_report", lambda payload: None
+        )
+        code = cli_mod.main([
+            "tournament", "--quick",
+            "--out", str(tmp_path / "no" / "such" / "t.json"),
+        ])
+        assert code == 2
+        assert "cannot write tournament report" in capsys.readouterr().err
+
+
 class TestChurnExitCodes:
     def test_invalid_field_exits_2_with_context(self, tmp_path, capsys):
         scenario = {

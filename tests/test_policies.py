@@ -1,0 +1,337 @@
+"""The allocation-strategy registry and the three rival strategies.
+
+The fuzz suite (``test_allocation_fuzz.py``) pins the §3.5 contract and
+the legacy byte-identity; this file covers the registry surface (names,
+aliases, normalization, the process-default slot), the declared-phase
+hint types, and each rival strategy's characteristic behaviour on
+hand-built inputs.
+"""
+
+import pytest
+
+from repro.core.allocation import AllocationInput, base_plan, plan_allocation
+from repro.core.config import AllocationPolicy, DCatConfig
+from repro.core.grouping import curvature_score
+from repro.core.hints import DeclaredPhase, DeclaredSchedule, PhaseHint
+from repro.core.perftable import PhaseTable
+from repro.core.policies import (
+    AllocationStrategy,
+    canonical_name,
+    fit_to_budget,
+    get_default_policy,
+    get_strategy,
+    normalize_policy,
+    policy_name,
+    protected_floors,
+    register_strategy,
+    set_default_policy,
+    strategy_names,
+    use_policy,
+)
+from repro.core.states import WorkloadState
+
+
+def _inp(wid, state=WorkloadState.KEEPER, target=3, grow=0, baseline=3,
+         reclaiming=False, table=None, hint=None):
+    return AllocationInput(
+        workload_id=wid,
+        state=state,
+        target_ways=target,
+        grow_request=grow,
+        baseline_ways=baseline,
+        reclaiming=reclaiming,
+        phase_table=table,
+        hint=hint,
+    )
+
+
+def _table(entries, baseline=3):
+    return PhaseTable(baseline_ways=baseline, baseline_ipc=1.0, entries=entries)
+
+
+# -- registry ------------------------------------------------------------------
+
+
+def test_registry_ships_five_strategies():
+    assert strategy_names() == [
+        "lfoc_clustering",
+        "max_fairness",
+        "max_performance",
+        "phase_hint",
+        "reserved_pooled",
+    ]
+
+
+@pytest.mark.parametrize(
+    "spelling,expected",
+    [
+        ("max_fairness", "max_fairness"),
+        ("fairness", "max_fairness"),
+        ("Max-Performance", "max_performance"),
+        ("  performance ", "max_performance"),
+        ("LFOC", "lfoc_clustering"),
+        ("phase hints", "phase_hint"),
+        ("declared", "phase_hint"),
+        ("memshare", "reserved_pooled"),
+        ("harvest", "reserved_pooled"),
+        (AllocationPolicy.MAX_FAIRNESS, "max_fairness"),
+        (AllocationPolicy.MAX_PERFORMANCE, "max_performance"),
+    ],
+)
+def test_canonical_name_accepts_every_spelling(spelling, expected):
+    assert canonical_name(spelling) == expected
+
+
+def test_canonical_name_rejects_unknown_listing_registry():
+    with pytest.raises(ValueError) as excinfo:
+        canonical_name("round_robin")
+    message = str(excinfo.value)
+    assert "round_robin" in message
+    for name in strategy_names():
+        assert name in message
+
+
+def test_canonical_name_rejects_non_strings():
+    with pytest.raises(ValueError, match="int"):
+        canonical_name(7)
+
+
+def test_normalize_policy_keeps_legacy_names_as_enum_members():
+    assert normalize_policy("max_fairness") is AllocationPolicy.MAX_FAIRNESS
+    assert normalize_policy("performance") is AllocationPolicy.MAX_PERFORMANCE
+    assert normalize_policy("lfoc") == "lfoc_clustering"
+    assert policy_name(AllocationPolicy.MAX_FAIRNESS) == "max_fairness"
+    assert policy_name("phase_hint") == "phase_hint"
+
+
+def test_config_normalizes_policy_spellings():
+    assert DCatConfig(policy="Max-Performance").policy is (
+        AllocationPolicy.MAX_PERFORMANCE
+    )
+    assert DCatConfig(policy="lfoc").policy == "lfoc_clustering"
+    assert DCatConfig().policy is AllocationPolicy.MAX_FAIRNESS
+
+
+def test_config_rejects_unknown_policy_listing_registry():
+    with pytest.raises(ValueError, match="registered strategies"):
+        DCatConfig(policy="banana")
+
+
+def test_use_policy_slot_feeds_fresh_configs():
+    assert get_default_policy() is AllocationPolicy.MAX_FAIRNESS
+    with use_policy("reserved_pooled"):
+        assert get_default_policy() == "reserved_pooled"
+        assert DCatConfig().policy == "reserved_pooled"
+        with use_policy("performance"):
+            assert DCatConfig().policy is AllocationPolicy.MAX_PERFORMANCE
+        assert get_default_policy() == "reserved_pooled"
+    assert get_default_policy() is AllocationPolicy.MAX_FAIRNESS
+
+
+def test_set_default_policy_none_restores_fairness():
+    set_default_policy("lfoc")
+    try:
+        assert get_default_policy() == "lfoc_clustering"
+    finally:
+        set_default_policy(None)
+    assert get_default_policy() is AllocationPolicy.MAX_FAIRNESS
+
+
+def test_register_strategy_rejects_collisions():
+    class Dupe(AllocationStrategy):
+        name = "max_fairness"
+
+        def plan(self, inputs, total_ways, config):  # pragma: no cover
+            return {}
+
+    class AliasThief(AllocationStrategy):
+        name = "brand_new"
+        aliases = ("lfoc",)
+
+        def plan(self, inputs, total_ways, config):  # pragma: no cover
+            return {}
+
+    class BadName(AllocationStrategy):
+        name = "Shouty"
+
+        def plan(self, inputs, total_ways, config):  # pragma: no cover
+            return {}
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_strategy(Dupe())
+    with pytest.raises(ValueError, match="alias"):
+        register_strategy(AliasThief())
+    with pytest.raises(ValueError, match="lowercase"):
+        register_strategy(BadName())
+    assert "brand_new" not in strategy_names()
+
+
+# -- invariant helpers ---------------------------------------------------------
+
+
+def test_protected_floors_entitlement():
+    config = DCatConfig()
+    inputs = [
+        _inp("grower", target=6, baseline=3),       # entitled: target >= baseline
+        _inp("shrinker", target=1, baseline=3),     # not entitled
+        _inp("reclaimer", target=3, baseline=3, reclaiming=True),
+    ]
+    plan = {"grower": 6, "shrinker": 2, "reclaimer": 3}
+    floors = protected_floors(plan, inputs, config)
+    assert floors == {"grower": 3, "shrinker": 1, "reclaimer": 3}
+
+
+def test_fit_to_budget_shares_shortage_round_robin():
+    floors = {"a": 1, "b": 1, "c": 1}
+    desires = {"a": 5, "b": 5, "c": 1}
+    plan = fit_to_budget(floors, desires, total_ways=6)
+    # Three spare ways, handed out one per round: a,b then a.
+    assert plan == {"a": 3, "b": 2, "c": 1}
+    assert sum(plan.values()) <= 6
+
+
+def test_curvature_score_flat_and_steep():
+    assert curvature_score(lambda w: 1.0, 2, 6) == 0.0
+    assert curvature_score(lambda w: w / 4.0, 2, 6) == pytest.approx(0.25)
+    assert curvature_score(lambda w: w, 6, 6) == 0.0  # degenerate range
+
+
+# -- declared-phase hints ------------------------------------------------------
+
+
+def test_declared_schedule_from_spec_and_active_at():
+    schedule = DeclaredSchedule.from_spec(
+        [
+            {"start_s": 0, "preferred_ways": 3},
+            {"start_s": 10, "preferred_ways": 6, "refs_per_instr": 0.4},
+        ]
+    )
+    assert schedule.active_at(0.0).preferred_ways == 3
+    assert schedule.active_at(9.9).preferred_ways == 3
+    assert schedule.active_at(10.0).preferred_ways == 6
+    assert schedule.active_at(-1.0) is None
+
+
+@pytest.mark.parametrize(
+    "spec,fragment",
+    [
+        ({"start_s": 0}, "declared_phases"),
+        ([{"start_s": 0}], "preferred_ways"),
+        ([{"start_s": 0, "preferred_ways": 0}], "preferred_ways"),
+        ([{"start_s": -1, "preferred_ways": 2}], "start_s"),
+        (
+            [
+                {"start_s": 5, "preferred_ways": 2},
+                {"start_s": 5, "preferred_ways": 3},
+            ],
+            "start_s",
+        ),
+        ([{"start_s": 0, "preferred_ways": 2, "bogus": 1}], "bogus"),
+    ],
+)
+def test_declared_schedule_rejects_bad_specs(spec, fragment):
+    with pytest.raises(ValueError, match=fragment):
+        DeclaredSchedule.from_spec(spec)
+
+
+# -- rival strategy behaviour --------------------------------------------------
+
+
+def test_lfoc_squeezes_flat_curves_toward_sensitive_tenants():
+    config = DCatConfig(policy="lfoc_clustering")
+    steep = _table({2: 0.6, 6: 1.4})     # 0.2 normIPC per way
+    flat = _table({2: 1.0, 6: 1.02})     # 0.005 per way: squanderer
+    inputs = [
+        _inp("steep", target=4, baseline=3, table=steep),
+        _inp("flat", target=1, baseline=3, table=flat),
+        _inp("fresh", target=3, baseline=3),  # unknown curve: untouched
+    ]
+    total = 12
+    base = base_plan(inputs, total, config)
+    plan = plan_allocation(inputs, total, config)
+    floors = protected_floors(base, inputs, config)
+    assert plan["flat"] == floors["flat"]
+    assert plan["fresh"] == base["fresh"]
+    assert plan["steep"] > base["steep"]
+    assert sum(plan.values()) <= total
+
+
+def test_lfoc_without_sensitive_tenants_is_base_plan():
+    config = DCatConfig(policy="lfoc")
+    inputs = [_inp("a"), _inp("b", state=WorkloadState.STREAMING, target=1)]
+    assert plan_allocation(inputs, 10, config) == base_plan(inputs, 10, config)
+
+
+def _hint(preferred, declared_refs=None, measured=0.3, time_s=1.0):
+    schedule = DeclaredSchedule(
+        phases=(
+            DeclaredPhase(
+                start_s=0.0,
+                preferred_ways=preferred,
+                refs_per_instr=declared_refs,
+            ),
+        )
+    )
+    return PhaseHint(
+        time_s=time_s, schedule=schedule, measured_refs_per_instr=measured
+    )
+
+
+def test_phase_hint_steers_trusted_workloads_to_preferred_ways():
+    config = DCatConfig(policy="phase_hint")
+    inputs = [
+        _inp("hinted", target=3, baseline=3, hint=_hint(6)),
+        _inp("plain", target=3, baseline=3),
+    ]
+    plan = plan_allocation(inputs, 12, config)
+    assert plan["hinted"] == 6
+    assert plan["plain"] >= 3
+
+
+def test_phase_hint_distrusts_diverging_signatures():
+    config = DCatConfig(policy="phase_hint")
+    # Declared 0.4 refs/instr but measuring 0.04: 90% divergence > 30%.
+    inputs = [
+        _inp("liar", target=3, baseline=3, hint=_hint(8, 0.4, measured=0.04)),
+        _inp("plain", target=3, baseline=3),
+    ]
+    total = 12
+    assert plan_allocation(inputs, total, config) == (
+        base_plan(inputs, total, config)
+    )
+
+
+def test_phase_hint_trusts_matching_signatures():
+    config = DCatConfig(policy="hints")
+    inputs = [
+        _inp("honest", target=3, baseline=3, hint=_hint(7, 0.4, measured=0.38)),
+    ]
+    assert plan_allocation(inputs, 12, config)["honest"] == 7
+
+
+def test_reserved_pooled_grants_pool_by_marginal_gain():
+    config = DCatConfig(policy="reserved_pooled")
+    hungry = _table({3: 1.0, 9: 2.2})    # 0.2 per extra way
+    sated = _table({3: 1.0, 9: 1.06})    # 0.01 per extra way
+    inputs = [
+        _inp("hungry", target=3, baseline=3, table=hungry),
+        _inp("sated", target=3, baseline=3, table=sated),
+        _inp("idle", target=2, baseline=2),  # no table, no growth
+    ]
+    plan = plan_allocation(inputs, 14, config)
+    assert plan["hungry"] > plan["sated"] >= 3
+    assert plan["idle"] == 2
+    assert sum(plan.values()) <= 14
+
+
+def test_reserved_pooled_leaves_unwanted_ways_free():
+    config = DCatConfig(policy="harvest")
+    inputs = [_inp("a", target=2, baseline=2), _inp("b", target=2, baseline=2)]
+    plan = plan_allocation(inputs, 16, config)
+    # Nobody can benefit: the pooled region stays free.
+    assert plan == {"a": 2, "b": 2}
+
+
+def test_get_strategy_resolves_enum_and_aliases():
+    assert get_strategy(AllocationPolicy.MAX_FAIRNESS).name == "max_fairness"
+    assert get_strategy("memshare").name == "reserved_pooled"

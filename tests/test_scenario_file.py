@@ -106,7 +106,7 @@ class TestValidation:
     def test_bad_policy(self):
         data = dict(BASIC)
         data["manager"] = {"type": "dcat", "config": {"policy": "max_chaos"}}
-        with pytest.raises(ScenarioError, match="unknown policy"):
+        with pytest.raises(ScenarioError, match="registered strategies"):
             load_scenario(data)
 
     def test_unknown_socket(self):

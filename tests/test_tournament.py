@@ -1,0 +1,204 @@
+"""The policy-tournament harness: metrics, Pareto math, schema, report.
+
+The registry smoke sweep already runs the full ``--quick`` tournament;
+these tests keep the pieces honest on hand-built inputs plus one tiny
+end-to-end build (two policies, one short single-machine scenario) so
+the real sweep/validate/render pipeline stays covered without another
+multi-minute run.
+"""
+
+import pytest
+
+from repro.harness.experiments import tournament
+from repro.harness.experiments.tournament import (
+    METRIC_KEYS,
+    TOURNAMENT_SCHEMA,
+    build_tournament_report,
+    jain_fairness,
+    pareto_frontier,
+    render_tournament_markdown,
+    tournament_scenario_names,
+    validate_tournament_report,
+)
+from repro.obs.export import render_prometheus
+from repro.obs.registry import MetricsRegistry
+
+
+def test_jain_fairness_basics():
+    assert jain_fairness([]) == 1.0
+    assert jain_fairness([0.0, 0.0]) == 1.0
+    assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+    # Textbook case: one tenant hogging everything among n tends to 1/n.
+    assert jain_fairness([1.0, 0.0001, 0.0001]) == pytest.approx(1 / 3, abs=0.01)
+
+
+def test_pareto_frontier_marks_dominated_policies():
+    aggregates = {
+        "good": {
+            "throughput": 2.0,
+            "jain_fairness": 0.9,
+            "slo_violation_s": 1.0,
+            "realloc_churn": 10.0,
+        },
+        # Strictly worse than "good" on every axis.
+        "dominated": {
+            "throughput": 1.5,
+            "jain_fairness": 0.8,
+            "slo_violation_s": 2.0,
+            "realloc_churn": 20.0,
+        },
+        # Trades throughput for fairness: incomparable, stays on frontier.
+        "fair": {
+            "throughput": 1.0,
+            "jain_fairness": 0.99,
+            "slo_violation_s": 1.0,
+            "realloc_churn": 10.0,
+        },
+    }
+    frontier = pareto_frontier(aggregates)
+    assert frontier == {"good": True, "dominated": False, "fair": True}
+
+
+def _tiny_payload():
+    cells = []
+    for policy in ("a", "b"):
+        for scenario in ("s1",):
+            for faults in ("off", "on"):
+                cells.append(
+                    {
+                        "policy": policy,
+                        "scenario": scenario,
+                        "faults": faults,
+                        "throughput": 1.0,
+                        "jain_fairness": 0.9,
+                        "slo_violation_s": 0.0,
+                        "realloc_churn": 4.0,
+                        "admitted": 3,
+                        "rejected": 0,
+                    }
+                )
+    summary = {
+        p: {
+            "throughput": 1.0,
+            "jain_fairness": 0.9,
+            "slo_violation_s": 0.0,
+            "realloc_churn": 8.0,
+            "pareto": True,
+        }
+        for p in ("a", "b")
+    }
+    return {
+        "schema": TOURNAMENT_SCHEMA,
+        "seed": 1,
+        "quick": True,
+        "policies": ["a", "b"],
+        "scenarios": ["s1"],
+        "fault_modes": ["off", "on"],
+        "cells": cells,
+        "summary": summary,
+    }
+
+
+def test_validate_accepts_well_formed_payload():
+    validate_tournament_report(_tiny_payload())
+
+
+@pytest.mark.parametrize(
+    "mutate,fragment",
+    [
+        (lambda p: p.update(schema="dcat-tournament/v0"), "schema"),
+        (lambda p: p.pop("summary"), "summary"),
+        (lambda p: p["cells"].pop(), "missing combinations"),
+        (
+            lambda p: p["cells"].append(dict(p["cells"][0])),
+            "duplicate",
+        ),
+        (
+            lambda p: p["cells"][0].update(throughput="fast"),
+            "throughput",
+        ),
+        (lambda p: p["cells"][0].update(admitted=-1), "admitted"),
+        (lambda p: p["summary"]["a"].update(pareto="yes"), "pareto"),
+        (lambda p: p["summary"].pop("b"), "one entry per policy"),
+        (lambda p: p.update(policies=[]), "policies"),
+    ],
+)
+def test_validate_rejects_malformed_payloads(mutate, fragment):
+    payload = _tiny_payload()
+    mutate(payload)
+    with pytest.raises(ValueError, match=fragment):
+        validate_tournament_report(payload)
+
+
+def test_render_markdown_contains_every_cell_and_policy():
+    text = render_tournament_markdown(_tiny_payload())
+    assert "## Pareto summary" in text
+    assert "## Cells" in text
+    for needle in ("| a |", "| b |", "s1", "off", "on", "yes"):
+        assert needle in text
+
+
+def _one_machine_scenario(seed, faults, quick):
+    scenario = {
+        "fleet": {"machines": 1, "socket": "xeon_d", "seed": seed},
+        "manager": {"type": "dcat"},
+        "placement": "first_fit",
+        "duration_s": 6,
+        "slo": {"tolerance": 0.05},
+        "tenants": [
+            {
+                "name": "anchor",
+                "arrival_s": 0,
+                "baseline_ways": 4,
+                "lifetime_s": 5,
+                "workload": {"type": "redis"},
+            },
+            {
+                "name": "streamer",
+                "arrival_s": 1,
+                "baseline_ways": 3,
+                "lifetime_s": 4,
+                "workload": {"type": "mload", "wss_mb": 60},
+            },
+        ],
+    }
+    if faults:
+        scenario["faults"] = {
+            "seed": seed + 99,
+            "rules": [{"kind": "counter_noise", "magnitude": 2.0, "probability": 0.1}],
+        }
+    return scenario
+
+
+def test_build_tournament_report_end_to_end(monkeypatch):
+    monkeypatch.setattr(
+        tournament, "_SCENARIOS", {"tiny": _one_machine_scenario}
+    )
+    monkeypatch.setattr(
+        tournament, "_QUICK_POLICIES", ("max_fairness", "reserved_pooled")
+    )
+    registry = MetricsRegistry()
+    payload = build_tournament_report(seed=7, quick=True, registry=registry)
+    validate_tournament_report(payload)
+    assert payload["policies"] == ["max_fairness", "reserved_pooled"]
+    assert payload["scenarios"] == ["tiny"]
+    assert len(payload["cells"]) == 2 * 1 * 2
+    # Determinism: the same seed rebuilds the identical payload.
+    assert build_tournament_report(seed=7, quick=True) == payload
+    # Per-cell metrics landed as labeled gauges.
+    text = render_prometheus(registry)
+    assert "dcat_tournament_metric" in text
+    assert 'policy="reserved_pooled"' in text
+    assert 'metric="realloc_churn"' in text
+
+
+def test_scenario_names_are_sorted_and_stable():
+    names = tournament_scenario_names()
+    assert names == sorted(names)
+    assert set(names) == {"steady_mix", "bursty_streamers"}
+    assert set(METRIC_KEYS) == {
+        "throughput",
+        "jain_fairness",
+        "slo_violation_s",
+        "realloc_churn",
+    }
