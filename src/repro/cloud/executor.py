@@ -1,0 +1,531 @@
+"""The process-pool fleet executor: 1k machines without 1k× the wall clock.
+
+:class:`ParallelCloudFleet` shards a churn scenario's machines across
+persistent worker processes.  Each worker rebuilds its shard from the same
+scenario document with the same crc32-derived per-machine seeds
+(:func:`repro.engine.runner.derive_seed` via
+:func:`~repro.cloud.scenario.build_fleet_machines`), so a machine's
+simulation is bit-identical wherever it runs — the discipline
+``run_experiments --jobs`` established, applied one layer down.
+
+The parent keeps a **mirror** of every machine: a real
+:class:`~repro.cloud.fleet.FleetMachine` with a shared-cache manager and
+no fault injectors, built from a transformed copy of the scenario.  The
+mirror tracks exactly the state global decisions read — thread slots,
+COS capacity, reserved ways, resident specs, workload phase schedules —
+so placement policies, admission control, and SLO accounting run in the
+parent unchanged, while the worker's replica does the actual simulation.
+Mirror workloads never advance and mirror sims never step.
+
+Determinism contract (the serial fleet is the spec):
+
+* every lifecycle op dispatches to the owning worker immediately, and the
+  worker's control-plane events are re-emitted on the parent bus between
+  the parent's own ``TenantPlaced``/``TenantAdmitted`` (or before
+  ``TenantDeparted``) — the exact slots the serial fleet fills;
+* one ``step`` barrier per fleet interval; per-machine interval events
+  are re-emitted in fleet order, then observations are folded into the
+  parent's :class:`~repro.cloud.slo.SloAccountant` in fleet order, so
+  ``SloViolated`` lands after all interval events, as in serial;
+* workers compute entitled IPC per machine *before* stepping it (the
+  serial snapshot point); entitlements only read that machine's state,
+  so per-shard computation equals the serial global snapshot;
+* events cross the pipe as pickled :class:`~repro.engine.events.Event`
+  dataclasses — exact float and tuple round-trip, no re-parsing.
+
+The result: JSONL traces, placements, SLO ledgers, and
+:class:`~repro.cloud.fleet.FleetResult` are byte-identical for any
+``--fleet-jobs`` value.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.fleet import CloudFleet, FleetMachine, entitled_ipc
+from repro.cloud.lifecycle import TenantSpec
+from repro.cloud.placement import build_policy
+from repro.engine.events import NULL_BUS, Event, EventBus, set_default_bus
+from repro.platform.sim import SimulationResult
+
+__all__ = ["ParallelCloudFleet"]
+
+
+class _WorkerFailure:
+    """An exception crossing the pipe; the parent re-raises it."""
+
+    def __init__(self, message: str) -> None:
+        self.message = message
+
+
+class _SliceRecorder:
+    """Collects events between :meth:`take` calls (one op's slice)."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+
+    def __call__(self, event: Event) -> None:
+        self.events.append(event)
+
+    def take(self) -> List[Event]:
+        taken, self.events = self.events, []
+        return taken
+
+
+def _controller_cos(machine: FleetMachine, tenant_id: str) -> Optional[int]:
+    controller = getattr(machine.sim.manager, "controller", None)
+    if controller is None:
+        return None
+    record = controller.records.get(tenant_id)
+    return record.cos_id if record is not None else None
+
+
+def _worker_main(
+    conn,
+    data: Dict[str, Any],
+    shard: Sequence[str],
+    fidelity: Optional[str],
+    policy: Optional[str],
+    capture: bool,
+    checkers: bool,
+) -> None:
+    """One worker: build the shard, then serve commands until ``stop``.
+
+    The first act is dropping any fork-inherited default bus — a parent
+    trace writer must see each event exactly once, re-emitted by the
+    parent, never directly from a worker.  Every machine gets an explicit
+    bus: a captured one when the parent traces, the null bus otherwise.
+    """
+    set_default_bus(None)
+    from repro.cloud.scenario import build_fleet_machines
+
+    recorder = _SliceRecorder() if capture else None
+    buses: Dict[str, EventBus] = {}
+
+    def machine_bus(name: str) -> EventBus:
+        mbus = EventBus()
+        if recorder is not None:
+            mbus.subscribe(recorder)
+        buses[name] = mbus
+        return mbus
+
+    factory = machine_bus if (capture or checkers) else (lambda name: NULL_BUS)
+    machines, _, _ = build_fleet_machines(
+        data, fidelity=fidelity, machine_bus=factory, policy=policy, only=shard
+    )
+    by_name = {m.name: m for m in machines}
+    checker_objs = {}
+    if checkers:
+        from repro.faults.invariants import InvariantChecker
+
+        for machine in machines:
+            controller = getattr(machine.sim.manager, "controller", None)
+            if controller is not None:
+                checker_objs[machine.name] = InvariantChecker(
+                    total_ways=controller.total_ways,
+                    config=controller.config,
+                    bus=buses[machine.name],
+                )
+
+    def take_events() -> List[Event]:
+        return recorder.take() if recorder is not None else []
+
+    # The construction slice: controller initialization emits events
+    # (e.g. MasksProgrammed) while the shard is built; ship them so the
+    # parent can re-emit them in fleet order before any lifecycle op.
+    conn.send(take_events())
+
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            break
+        try:
+            cmd = msg[0]
+            if cmd == "stop":
+                conn.send(None)
+                break
+            elif cmd == "admit":
+                _, tick, name, spec, now = msg
+                machine = by_name[name]
+                machine.catch_up(tick)
+                machine.admit(spec, spec.build_workload(), now)
+                conn.send((take_events(), _controller_cos(machine, spec.name)))
+            elif cmd == "depart":
+                _, tick, name, tenant_id = msg
+                by_name[name].depart(tenant_id)
+                conn.send(take_events())
+            elif cmd == "step":
+                _, tick = msg
+                out = []
+                for machine in machines:
+                    if not machine.should_step:
+                        continue
+                    machine.catch_up(tick)
+                    # Entitlements from the phase about to execute, under
+                    # the pre-step DRAM latency — the serial snapshot.
+                    dram = machine.sim.dram_latency_cycles
+                    entitlements = {
+                        tid: entitled_ipc(
+                            machine.machine, res.vm, dram_latency_cycles=dram
+                        )
+                        for tid, res in machine.residents.items()
+                    }
+                    machine.sim.step()
+                    events = take_events()
+                    obs = []
+                    for tid in machine.residents:
+                        timeline = machine.sim.result.records[tid]
+                        if not timeline:
+                            continue
+                        rec = timeline[-1]
+                        active = (
+                            rec.phase_name is not None
+                            and "idle" not in rec.phase_name
+                        )
+                        obs.append(
+                            (tid, rec.ipc, entitlements.get(tid), active)
+                        )
+                    finished = [
+                        tid
+                        for tid, res in machine.residents.items()
+                        if res.vm.workload.finished
+                    ]
+                    out.append((machine.name, events, obs, finished))
+                conn.send(out)
+            elif cmd == "result":
+                _, tick = msg
+                payload = {}
+                for machine in machines:
+                    machine.catch_up(tick)
+                    faults = (
+                        machine.injector.faults_by_kind()
+                        if machine.injector is not None
+                        else None
+                    )
+                    payload[machine.name] = (machine.sim.result, faults)
+                conn.send(payload)
+            elif cmd == "states":
+                payload = {}
+                for machine in machines:
+                    controller = getattr(
+                        machine.sim.manager, "controller", None
+                    )
+                    if controller is None:
+                        payload[machine.name] = None
+                        continue
+                    counts: Dict[str, int] = {}
+                    for rec in controller.records.values():
+                        key = rec.state.value
+                        counts[key] = counts.get(key, 0) + 1
+                    payload[machine.name] = dict(sorted(counts.items()))
+                conn.send(payload)
+            elif cmd == "checker_stats":
+                violations = sum(
+                    len(c.violations) for c in checker_objs.values()
+                )
+                intervals = sum(
+                    c.intervals_checked for c in checker_objs.values()
+                )
+                conn.send((violations, intervals))
+            else:
+                conn.send(_WorkerFailure(f"unknown command {cmd!r}"))
+        except Exception:
+            conn.send(_WorkerFailure(traceback.format_exc()))
+    conn.close()
+
+
+class ParallelCloudFleet(CloudFleet):
+    """A :class:`CloudFleet` whose machines simulate in worker processes.
+
+    Drop-in for the serial fleet: same constructor vocabulary (via a
+    scenario document), same ``run``/``step``/``admit_tenant``/
+    ``depart_tenant``/result surface, byte-identical outputs.  Call
+    :meth:`close` when done (``run_churn_scenario`` and the service
+    daemon do) to release the workers.
+
+    Args:
+        data: The churn-scenario/service-config document (the fleet
+            vocabulary sections; ``tenants``/``poisson`` are ignored here
+            — pass the parsed stream via ``tenants``).
+        jobs: Worker processes (capped at the machine count).
+        tenants: The scripted lifecycle stream (empty for the service).
+        fidelity: Optional fidelity override, forwarded to workers.
+        policy: Optional allocation-policy override, forwarded to workers.
+        bus: Event bus for lifecycle events (defaults to the process
+            default; when it is active, workers capture and ship their
+            event streams for in-order re-emission).
+        checkers: Build an :class:`~repro.faults.invariants.InvariantChecker`
+            per dcat machine inside the workers (the service's watchdogs);
+            query the fold with :meth:`checker_stats`.
+    """
+
+    def __init__(
+        self,
+        data: Dict[str, Any],
+        jobs: int,
+        tenants: Sequence[TenantSpec],
+        fidelity: Optional[str] = None,
+        policy: Optional[str] = None,
+        bus: Optional[EventBus] = None,
+        checkers: bool = False,
+    ) -> None:
+        from repro.cloud.scenario import build_fleet_machines
+
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        # Validate the full document once, building zero machines.
+        _, placement, tolerance = build_fleet_machines(
+            data, fidelity=fidelity, policy=policy, only=()
+        )
+        mirror_data = dict(data)
+        mirror_data["manager"] = {"type": "shared"}
+        mirror_data.pop("faults", None)
+        mirror_data.pop("fidelity", None)
+        mirror_data.pop("policy", None)
+        mirrors, _, _ = build_fleet_machines(
+            mirror_data,
+            fidelity="analytical",
+            machine_bus=lambda name: NULL_BUS,
+        )
+        super().__init__(
+            machines=mirrors,
+            policy=build_policy(placement),
+            tenants=tenants,
+            bus=bus,
+            slo_tolerance=tolerance,
+        )
+        self._has_faults = "faults" in data
+        self._capture = self.bus.active
+        self._order = {m.name: i for i, m in enumerate(mirrors)}
+        self._finished: set = set()
+        self._cos_cache: Dict[str, int] = {}
+        self._results_cache: Optional[
+            Tuple[int, Dict[str, SimulationResult], Dict[str, Dict[str, int]]]
+        ] = None
+        self._workers: List[Tuple[Any, Any]] = []
+        self._worker_of: Dict[str, Any] = {}
+        self._spawn(data, jobs, fidelity, policy, checkers)
+        for machine in mirrors:
+            self._instrument(machine)
+
+    # -- worker plumbing ---------------------------------------------------
+
+    def _spawn(
+        self,
+        data: Dict[str, Any],
+        jobs: int,
+        fidelity: Optional[str],
+        policy: Optional[str],
+        checkers: bool,
+    ) -> None:
+        names = [m.name for m in self.machines]
+        jobs = min(jobs, len(names))
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        base, extra = divmod(len(names), jobs)
+        start = 0
+        for w in range(jobs):
+            size = base + (1 if w < extra else 0)
+            shard = tuple(names[start : start + size])
+            start += size
+            if not shard:
+                continue
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(
+                    child_conn,
+                    data,
+                    shard,
+                    fidelity,
+                    policy,
+                    self._capture,
+                    checkers,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._workers.append((proc, parent_conn))
+            for name in shard:
+                self._worker_of[name] = parent_conn
+        # Shards are contiguous and built in fleet order, so draining the
+        # construction slices worker by worker re-emits machine-build
+        # events exactly as the serial fleet's constructor would.
+        for _, conn in self._workers:
+            self._emit_events(self._checked(conn.recv()))
+
+    def _instrument(self, machine: FleetMachine) -> None:
+        """Forward a mirror's churn ops to its worker's replica.
+
+        The base class's ``admit_tenant``/``depart_tenant`` call
+        ``machine.admit``/``machine.depart`` between their lifecycle-event
+        emissions; forwarding from inside those calls re-emits the
+        worker's control-plane events in exactly the serial slots.
+        ``catch_up`` becomes a no-op — the worker replica catches up on
+        dispatch, and the mirror's sim (with VMs attached) must never
+        skip.
+        """
+        mirror_admit = machine.admit
+        mirror_depart = machine.depart
+
+        def admit(spec, workload, now):
+            vm = mirror_admit(spec, workload, now)
+            events, cos_id = self._ask(
+                machine.name, ("admit", self._tick, machine.name, spec, now)
+            )
+            self._emit_events(events)
+            if cos_id is not None:
+                self._cos_cache[spec.name] = cos_id
+            self._results_cache = None
+            return vm
+
+        def depart(tenant_id):
+            resident = mirror_depart(tenant_id)
+            events = self._ask(
+                machine.name, ("depart", self._tick, machine.name, tenant_id)
+            )
+            self._emit_events(events)
+            self._cos_cache.pop(tenant_id, None)
+            self._results_cache = None
+            return resident
+
+        machine.admit = admit
+        machine.depart = depart
+        machine.catch_up = lambda fleet_tick: None
+
+    def _ask(self, machine_name: str, msg: Tuple) -> Any:
+        conn = self._worker_of[machine_name]
+        conn.send(msg)
+        return self._checked(conn.recv())
+
+    def _broadcast(self, msg: Tuple) -> List[Any]:
+        for _, conn in self._workers:
+            conn.send(msg)
+        return [self._checked(conn.recv()) for _, conn in self._workers]
+
+    @staticmethod
+    def _checked(reply: Any) -> Any:
+        if isinstance(reply, _WorkerFailure):
+            raise RuntimeError(f"fleet worker failed:\n{reply.message}")
+        return reply
+
+    def _emit_events(self, events: Sequence[Event]) -> None:
+        if events and self.bus.active:
+            for event in events:
+                self.bus.emit(event)
+
+    # -- overridden fleet machinery ----------------------------------------
+
+    def step(self) -> None:
+        """One fleet interval, with the simulation barrier in the workers."""
+        now = self._time_s
+        self._process_departures(now)
+        self._process_arrivals(now)
+        self._results_cache = None
+        merged: Dict[str, Tuple] = {}
+        for reply in self._broadcast(("step", self._tick)):
+            for name, events, obs, finished in reply:
+                merged[name] = (events, obs, finished)
+        order = sorted(merged, key=self._order.__getitem__)
+        for name in order:
+            self._emit_events(merged[name][0])
+        finished_now: set = set()
+        for name in order:
+            _, obs, finished = merged[name]
+            for tid, ipc, entitled, active in obs:
+                self.accountant.observe(
+                    tid, now, ipc=ipc, entitled_ipc=entitled, active=active
+                )
+            finished_now.update(finished)
+        self._finished = finished_now
+        self._tick += 1
+
+    def _due_departures(self, machine: FleetMachine, now: float):
+        """Worker-reported completions stand in for ``workload.finished``
+        (mirror workloads never advance); same priority as serial."""
+        due = []
+        for tid, res in machine.residents.items():
+            if tid in self._finished:
+                due.append((tid, "finished"))
+            elif res.lease_end_s <= now:
+                due.append((tid, "lease-end"))
+        return due
+
+    def _fleet_quiescent(self) -> bool:
+        # Mirrors carry no injectors: with a fault plan in play every
+        # host steps every interval, so the clock never bulk-skips.
+        return not self._has_faults and super()._fleet_quiescent()
+
+    # -- overridden state hooks --------------------------------------------
+
+    def _collect_results(
+        self,
+    ) -> Tuple[Dict[str, SimulationResult], Dict[str, Dict[str, int]]]:
+        if (
+            self._results_cache is not None
+            and self._results_cache[0] == self._tick
+        ):
+            return self._results_cache[1], self._results_cache[2]
+        merged: Dict[str, Tuple] = {}
+        for reply in self._broadcast(("result", self._tick)):
+            merged.update(reply)
+        results: Dict[str, SimulationResult] = {}
+        faults: Dict[str, Dict[str, int]] = {}
+        for machine in self.machines:
+            sim_result, machine_faults = merged[machine.name]
+            results[machine.name] = sim_result
+            if machine_faults is not None:
+                faults[machine.name] = machine_faults
+        self._results_cache = (self._tick, results, faults)
+        return results, faults
+
+    def machine_results(self) -> Dict[str, SimulationResult]:
+        return self._collect_results()[0]
+
+    def fault_counts(self) -> Dict[str, Dict[str, int]]:
+        return self._collect_results()[1]
+
+    def tenant_cos(self, tenant_id: str) -> Optional[int]:
+        return self._cos_cache.get(tenant_id)
+
+    def state_populations(self) -> Dict[str, Optional[Dict[str, int]]]:
+        merged: Dict[str, Optional[Dict[str, int]]] = {}
+        for reply in self._broadcast(("states",)):
+            merged.update(reply)
+        return {m.name: merged[m.name] for m in self.machines}
+
+    def checker_stats(self) -> Tuple[int, int]:
+        violations = 0
+        intervals = 0
+        for reply in self._broadcast(("checker_stats",)):
+            violations += reply[0]
+            intervals += reply[1]
+        return (violations, intervals)
+
+    def close(self) -> None:
+        """Stop and reap the worker processes (idempotent)."""
+        workers, self._workers = self._workers, []
+        self._worker_of = {}
+        for _, conn in workers:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc, conn in workers:
+            try:
+                conn.recv()
+            except (EOFError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=10)

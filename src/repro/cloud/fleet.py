@@ -24,7 +24,7 @@ trace and metrics sinks see fleet churn exactly like any other layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.cache.analytical import AccessPattern
 from repro.cloud.admission import classify_rejection
@@ -212,6 +212,27 @@ class FleetMachine:
         self.reserved_ways -= resident.spec.baseline_ways
         return resident
 
+    # -- the event clock ---------------------------------------------------
+
+    @property
+    def should_step(self) -> bool:
+        """Whether this host has anything to simulate this interval.
+
+        Empty hosts are parked by the fleet's discrete-event clock and
+        wake on the next arrival; a host with a fault injector always
+        steps so its fault schedule stays on the controller timeline.
+        """
+        return bool(self.residents) or self.injector is not None
+
+    def catch_up(self, fleet_tick: int) -> None:
+        """Advance a parked host's sim clock to the fleet's tick.
+
+        A no-op for hosts that stepped every interval (``behind == 0``).
+        """
+        behind = fleet_tick - self.sim.tick
+        if behind > 0:
+            self.sim.skip_idle(behind)
+
 
 @dataclass(frozen=True)
 class PlacementRecord:
@@ -243,6 +264,38 @@ class FleetResult:
     @property
     def rejected(self) -> List[PlacementRecord]:
         return [p for p in self.placements if p.machine is None]
+
+    def canonical_bytes(self) -> bytes:
+        """A canonical encoding for byte-identity checks.
+
+        Components — and within them, each machine's and each tenant's
+        entry — are pickled separately (fixed protocol): an in-process
+        run shares objects *across* machines and components (one phase
+        name string on two hosts; an SLO ledger holding the same float
+        object a timeline record holds) where a process-pool run cannot,
+        and pickle's memoization records that sharing.  The object-graph
+        artifact must not distinguish otherwise identical results, so
+        every unit that may cross a process boundary is encoded on its
+        own.
+        """
+        import pickle
+
+        def dumps(part: Any) -> bytes:
+            return pickle.dumps(part, protocol=4)
+
+        chunks = [dumps(self.interval_s)]
+        for name in self.machines:
+            chunks.append(dumps(name))
+            chunks.append(dumps(self.machines[name]))
+        for tid in sorted(self.tenants):
+            chunks.append(dumps(tid))
+            chunks.append(dumps(self.tenants[tid]))
+        chunks.append(dumps(self.placements))
+        chunks.append(dumps(self.summary))
+        for name in sorted(self.faults):
+            chunks.append(dumps(name))
+            chunks.append(dumps(self.faults[name]))
+        return b"".join(chunks)
 
 
 class CloudFleet:
@@ -280,7 +333,18 @@ class CloudFleet:
         self.interval_s = machines[0].machine.interval_s
         self._pending = scripted_tenants(tenants)
         self._next_arrival = 0
-        self._time_s = 0.0
+        # Integer fleet tick: `now` is derived (tick * interval_s), never
+        # accumulated, so lease ends and arrivals at t~1e7 with ms
+        # intervals land on the exact interval (the old `+= interval_s`
+        # clock drifted about one interval per 1e6 steps).
+        self._tick = 0
+        # tenant -> hosting machine; replaces the O(machines) scan that
+        # made bulk departures O(machines x departures).
+        self._hosts: Dict[str, FleetMachine] = {}
+        # Hosts with anything to simulate, rebuilt lazily on churn so one
+        # fleet interval costs O(active hosts), not O(fleet size).
+        self._active: List[FleetMachine] = []
+        self._active_stale = True
         self.accountant = SloAccountant(
             self.interval_s, tolerance=slo_tolerance, bus=self.bus
         )
@@ -290,41 +354,160 @@ class CloudFleet:
     def now(self) -> float:
         return self._time_s
 
+    @property
+    def tick(self) -> int:
+        """Completed fleet intervals (the integer timebase)."""
+        return self._tick
+
+    @property
+    def _time_s(self) -> float:
+        """The fleet clock: ``tick * interval_s``, never accumulated."""
+        return self._tick * self.interval_s
+
+    def _active_machines(self) -> List[FleetMachine]:
+        """Hosts with residents or fault injectors, in fleet order."""
+        if self._active_stale:
+            self._active = [m for m in self.machines if m.should_step]
+            self._active_stale = False
+        return self._active
+
     # -- main loop ---------------------------------------------------------
 
     def run(self, duration_s: float) -> FleetResult:
-        """Advance the whole fleet by ``duration_s`` of virtual time."""
+        """Advance the whole fleet by ``duration_s`` of virtual time.
+
+        The fleet only moves in whole intervals; a duration that is not a
+        whole multiple of ``interval_s`` raises (the old code rounded, so
+        ``run(0.35)`` at 0.1 s quietly simulated 0.4 s).
+
+        While no host has residents or a fault injector, the
+        discrete-event clock jumps straight to the next arrival instead
+        of stepping empty intervals one by one.
+
+        Raises:
+            ValueError: If ``duration_s`` is negative or not a whole
+                number of fleet intervals.
+        """
         if duration_s < 0:
             raise ValueError(f"duration_s must be >= 0, got {duration_s}")
-        steps = int(round(duration_s / self.interval_s))
-        for _ in range(steps):
+        steps_exact = duration_s / self.interval_s
+        steps = int(round(steps_exact))
+        if abs(steps_exact - steps) > 1e-9 * max(1.0, abs(steps_exact)):
+            raise ValueError(
+                f"duration {duration_s} s is not a whole number of "
+                f"{self.interval_s} s fleet intervals"
+            )
+        end_tick = self._tick + steps
+        while self._tick < end_tick:
+            if self._fleet_quiescent():
+                jump = self._next_busy_tick(end_tick) - self._tick
+                if jump > 0:
+                    self._bulk_skip(jump)
+                    continue
             self.step()
         return self.result()
 
     def step(self) -> None:
-        """One fleet interval: depart, admit, simulate, account."""
+        """One fleet interval: depart, admit, simulate active hosts, account."""
         now = self._time_s
         self._process_departures(now)
         self._process_arrivals(now)
         entitlements = self._snapshot_entitlements()
-        for machine in self.machines:
+        for machine in self._active_machines():
+            machine.catch_up(self._tick)
             machine.sim.step()
         self._account(now, entitlements)
-        self._time_s += self.interval_s
+        self._tick += 1
+
+    def _fleet_quiescent(self) -> bool:
+        """No host needs stepping; only a due arrival can wake the fleet."""
+        return not self._active_machines()
+
+    def _next_busy_tick(self, target: int) -> int:
+        """First tick in ``[tick, target]`` at which an arrival is due.
+
+        Computes the minimal ``t`` with ``arrival_s <= t * interval_s``
+        by integer estimate plus local fix-up, so float rounding cannot
+        land the wake-up one interval off the admission predicate.
+        """
+        if self._next_arrival >= len(self._pending):
+            return target
+        arrival_s = self._pending[self._next_arrival].arrival_s
+        t = int(arrival_s / self.interval_s)
+        while t * self.interval_s < arrival_s:
+            t += 1
+        while t > self._tick and (t - 1) * self.interval_s >= arrival_s:
+            t -= 1
+        return max(self._tick, min(t, target))
+
+    def _bulk_skip(self, intervals: int) -> None:
+        """Jump the fleet clock; parked hosts catch up lazily."""
+        self._tick += intervals
 
     def result(self) -> FleetResult:
         return FleetResult(
             interval_s=self.interval_s,
-            machines={m.name: m.sim.result for m in self.machines},
+            machines=self.machine_results(),
             tenants=dict(self.accountant.tenants),
             placements=list(self.placements),
             summary=self.accountant.fleet_summary(),
-            faults={
-                m.name: m.injector.faults_by_kind()
-                for m in self.machines
-                if m.injector is not None
-            },
+            faults=self.fault_counts(),
         )
+
+    # -- fleet state hooks (overridden by the parallel executor, which
+    #    must query its workers for the same answers) ------------------------
+
+    def machine_results(self) -> Dict[str, SimulationResult]:
+        """Per-machine simulation results, clocks caught up to the fleet."""
+        for machine in self.machines:
+            machine.catch_up(self._tick)
+        return {m.name: m.sim.result for m in self.machines}
+
+    def fault_counts(self) -> Dict[str, Dict[str, int]]:
+        """Applied fault counts per machine, keyed by fault kind."""
+        return {
+            m.name: m.injector.faults_by_kind()
+            for m in self.machines
+            if m.injector is not None
+        }
+
+    def tenant_cos(self, tenant_id: str) -> Optional[int]:
+        """The COS the host's controller assigned a resident tenant.
+
+        ``None`` for non-resident tenants and for non-dcat managers.
+        """
+        machine = self._hosts.get(tenant_id)
+        if machine is None:
+            return None
+        controller = getattr(machine.sim.manager, "controller", None)
+        if controller is None:
+            return None
+        record = controller.records.get(tenant_id)
+        return record.cos_id if record is not None else None
+
+    def state_populations(self) -> Dict[str, Optional[Dict[str, int]]]:
+        """Controller-state counts per machine (``None`` for non-dcat hosts)."""
+        populations: Dict[str, Optional[Dict[str, int]]] = {}
+        for machine in self.machines:
+            controller = getattr(machine.sim.manager, "controller", None)
+            if controller is None:
+                populations[machine.name] = None
+                continue
+            counts: Dict[str, int] = {}
+            for rec in controller.records.values():
+                key = rec.state.value
+                counts[key] = counts.get(key, 0) + 1
+            populations[machine.name] = dict(sorted(counts.items()))
+        return populations
+
+    def checker_stats(self) -> Tuple[int, int]:
+        """``(violations, intervals checked)`` from executor-side invariant
+        checkers.  The serial fleet's checkers subscribe in-process, so
+        there is nothing extra to fold here."""
+        return (0, 0)
+
+    def close(self) -> None:
+        """Release executor resources (no-op for the serial fleet)."""
 
     # -- tenant lifecycle (public: scripted streams and the service both
     #    funnel through these two, so online and replayed admissions are
@@ -332,10 +515,7 @@ class CloudFleet:
 
     def machine_of(self, tenant_id: str) -> Optional[FleetMachine]:
         """The machine currently hosting ``tenant_id`` (``None`` if absent)."""
-        for machine in self.machines:
-            if tenant_id in machine.residents:
-                return machine
-        return None
+        return self._hosts.get(tenant_id)
 
     def admit_tenant(self, spec: TenantSpec, now: Optional[float] = None) -> PlacementRecord:
         """Place and (maybe) admit one tenant at ``now``.
@@ -377,7 +557,10 @@ class CloudFleet:
                     policy=self.policy.name,
                 )
             )
+        chosen.catch_up(self._tick)
         chosen.admit(spec, workload, now)
+        self._hosts[spec.name] = chosen
+        self._active_stale = True
         self.accountant.admitted(spec.name, chosen.name, now)
         record = PlacementRecord(
             time_s=now,
@@ -414,12 +597,13 @@ class CloudFleet:
         """
         if now is None:
             now = self._time_s
-        machine = self.machine_of(tenant_id)
+        machine = self._hosts.pop(tenant_id, None)
         if machine is None:
             raise UnknownTenantError(
                 f"tenant {tenant_id!r} is not resident in the fleet"
             )
         resident = machine.depart(tenant_id)
+        self._active_stale = True
         if reason is None:
             reason = (
                 "finished" if resident.vm.workload.finished else "lease-end"
@@ -439,14 +623,24 @@ class CloudFleet:
     # -- interval stages -----------------------------------------------------
 
     def _process_departures(self, now: float) -> None:
-        for machine in self.machines:
-            due = [
-                tid
-                for tid, res in machine.residents.items()
-                if res.lease_end_s <= now or res.vm.workload.finished
-            ]
-            for tid in due:
-                self.depart_tenant(tid, now)
+        for machine in list(self._active_machines()):
+            for tid, reason in self._due_departures(machine, now):
+                self.depart_tenant(tid, now, reason=reason)
+
+    def _due_departures(self, machine: FleetMachine, now: float):
+        """``(tenant_id, reason)`` pairs due to leave ``machine`` at ``now``.
+
+        A seam for the parallel executor, whose mirror workloads never
+        advance: it substitutes worker-reported completions for the
+        ``workload.finished`` check.
+        """
+        due = []
+        for tid, res in machine.residents.items():
+            if res.vm.workload.finished:
+                due.append((tid, "finished"))
+            elif res.lease_end_s <= now:
+                due.append((tid, "lease-end"))
+        return due
 
     def _process_arrivals(self, now: float) -> None:
         while (
@@ -460,7 +654,7 @@ class CloudFleet:
     def _snapshot_entitlements(self) -> Dict[str, Optional[float]]:
         """Entitled IPC per resident, from the phase about to execute."""
         entitlements: Dict[str, Optional[float]] = {}
-        for machine in self.machines:
+        for machine in self._active_machines():
             dram_latency = machine.sim.dram_latency_cycles
             for tid, resident in machine.residents.items():
                 entitlements[tid] = entitled_ipc(
@@ -471,7 +665,7 @@ class CloudFleet:
     def _account(
         self, now: float, entitlements: Dict[str, Optional[float]]
     ) -> None:
-        for machine in self.machines:
+        for machine in self._active_machines():
             for tid in machine.residents:
                 timeline = machine.sim.result.records[tid]
                 if not timeline:

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.cloud.admission import RejectReason
-from repro.cloud.fleet import CloudFleet, FleetMachine
+from repro.cloud.fleet import CloudFleet
 from repro.cloud.lifecycle import TenantSpec
 from repro.errors import UnknownTenantError
 
@@ -78,14 +78,6 @@ class AdmitOutcome:
         if self.cos_id is not None:
             body["cos_id"] = self.cos_id
         return body
-
-
-def _cos_of(machine: FleetMachine, tenant_id: str) -> Optional[int]:
-    controller = getattr(machine.sim.manager, "controller", None)
-    if controller is None:
-        return None
-    record = controller.records.get(tenant_id)
-    return record.cos_id if record is not None else None
 
 
 class FleetHandle:
@@ -155,15 +147,13 @@ class FleetHandle:
                 reason=record.reason,
                 baseline_ways=baseline_ways,
             )
-        machine = self.fleet.machine_of(name)
-        assert machine is not None
         return AdmitOutcome(
             admitted=True,
             tenant_id=name,
             machine=record.machine,
             reason=record.reason,
             baseline_ways=baseline_ways,
-            cos_id=_cos_of(machine, name),
+            cos_id=self.fleet.tenant_cos(name),
         )
 
     def detach(self, tenant_id: str) -> Dict[str, Any]:
@@ -254,6 +244,7 @@ class FleetHandle:
 
     def fleet_state(self) -> Dict[str, Any]:
         """Machine occupancy and controller state populations."""
+        populations = self.fleet.state_populations()
         machines = []
         for machine in self.fleet.machines:
             entry: Dict[str, Any] = {
@@ -263,13 +254,9 @@ class FleetHandle:
                 "free_ways": machine.free_ways,
                 "free_thread_slots": machine.free_thread_slots,
             }
-            controller = getattr(machine.sim.manager, "controller", None)
-            if controller is not None:
-                populations: Dict[str, int] = {}
-                for rec in controller.records.values():
-                    key = rec.state.value
-                    populations[key] = populations.get(key, 0) + 1
-                entry["states"] = dict(sorted(populations.items()))
+            states = populations.get(machine.name)
+            if states is not None:
+                entry["states"] = states
             machines.append(entry)
         return {
             "now": self.fleet.now,
@@ -289,10 +276,12 @@ class FleetHandle:
         excludes wall-clock data (request latencies live only in loadgen
         reports), so online and replayed runs can compare equal.
         """
+        results = self.fleet.machine_results()
         machines: Dict[str, Any] = {}
         for machine in self.fleet.machines:
+            result = results[machine.name]
             timelines: Dict[str, Any] = {}
-            for tid in sorted(machine.sim.result.records):
+            for tid in sorted(result.records):
                 timelines[tid] = [
                     [
                         rec.time_s,
@@ -304,7 +293,7 @@ class FleetHandle:
                         rec.cycles,
                         rec.state.value if rec.state is not None else None,
                     ]
-                    for rec in machine.sim.result.records[tid]
+                    for rec in result.records[tid]
                 ]
             machines[machine.name] = timelines
         return {

@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cloud.fleet import CloudFleet, FleetMachine, FleetResult
 from repro.cloud.lifecycle import MixEntry, TenantSpec, poisson_tenants
@@ -215,6 +215,7 @@ def build_fleet_machines(
     fidelity: Optional[str] = None,
     machine_bus: Optional[Callable[[str], Any]] = None,
     policy: Optional[str] = None,
+    only: Optional[Sequence[str]] = None,
 ) -> Tuple[List[FleetMachine], str, float]:
     """Build the machines a scenario's shared fleet vocabulary describes.
 
@@ -233,6 +234,10 @@ def build_fleet_machines(
         policy: Optional CLI override for the allocation policy; wins
             over the file's top-level ``policy`` field, which in turn
             wins over the manager config's own ``policy``.
+        only: When given, build only the named machines (a process-pool
+            worker's shard); every section is still validated, so
+            ``only=()`` validates the whole document while building
+            nothing.
 
     Returns:
         ``(machines, placement_name, slo_tolerance)``.
@@ -301,21 +306,30 @@ def build_fleet_machines(
         except ValueError as exc:
             raise ChurnScenarioError(f"policy: {exc}") from None
 
-    manager_spec = data.get("manager", {"type": "dcat"})
+    manager_spec = _require_mapping(
+        data.get("manager", {"type": "dcat"}), "manager"
+    )
+    # Validate the manager spec up front (not per machine) so a sharded
+    # build with an empty `only` still rejects a malformed document.
+    try:
+        build_manager(dict(manager_spec), policy=alloc_policy)
+    except ScenarioError as exc:
+        raise ChurnScenarioError(f"manager: {exc}") from None
     from repro.harness.scenario_file import _SOCKETS as SOCKET_FACTORIES
 
+    only_set = None if only is None else set(only)
     machines: List[FleetMachine] = []
     for i in range(n_machines):
         name = f"m{i}"
+        if only_set is not None and name not in only_set:
+            continue
         machine = Machine(
             spec=SOCKET_FACTORIES[socket](),
             seed=derive_seed(seed, name),
             interval_s=interval_s,
         )
         try:
-            manager = build_manager(
-                _require_mapping(manager_spec, "manager"), policy=alloc_policy
-            )
+            manager = build_manager(dict(manager_spec), policy=alloc_policy)
         except ScenarioError as exc:
             raise ChurnScenarioError(f"manager: {exc}") from None
         machine_plan = None
@@ -352,6 +366,7 @@ def load_churn_scenario(
     source: Union[str, Path, Dict[str, Any]],
     fidelity: Optional[str] = None,
     policy: Optional[str] = None,
+    fleet_jobs: int = 1,
 ) -> Tuple[CloudFleet, float]:
     """Parse a churn scenario (dict, JSON string, or file path).
 
@@ -364,6 +379,12 @@ def load_churn_scenario(
     overrides the file's field, and the ``policy`` argument (the CLI's
     ``--policy``) likewise overrides the file's top-level ``policy`` and
     the manager config's ``policy``.
+
+    ``fleet_jobs > 1`` builds a
+    :class:`~repro.cloud.executor.ParallelCloudFleet` that shards the
+    machines across that many worker processes; results and event streams
+    are byte-identical to the serial fleet.  Call ``fleet.close()`` (or
+    run via :func:`run_churn_scenario`) to release the workers.
 
     Returns:
         ``(fleet, duration_s)`` — a ready-to-run :class:`CloudFleet`.
@@ -390,7 +411,21 @@ def load_churn_scenario(
                 ) from None
     data = _require_mapping(data, "scenario")
 
+    if fleet_jobs < 1:
+        raise ChurnScenarioError(f"fleet_jobs: must be >= 1, got {fleet_jobs}")
+
     duration_s = _get_number(data, "scenario", "duration_s", default=30.0, positive=True)
+    fleet_spec = _require_mapping(data.get("fleet", {}), "fleet")
+    interval_s = _get_number(
+        fleet_spec, "fleet", "interval_s", default=1.0, positive=True
+    )
+    steps_exact = duration_s / interval_s
+    if abs(steps_exact - round(steps_exact)) > 1e-9 * max(1.0, abs(steps_exact)):
+        raise ChurnScenarioError(
+            f"scenario.duration_s: {duration_s} is not a whole number of "
+            f"fleet.interval_s={interval_s} intervals (the fleet only "
+            f"moves in whole intervals; it no longer rounds silently)"
+        )
 
     tenants = _parse_tenants(data.get("tenants", []))
     if "poisson" in data:
@@ -403,6 +438,20 @@ def load_churn_scenario(
     if len(set(names)) != len(names):
         dupes = sorted({n for n in names if names.count(n) > 1})
         raise ChurnScenarioError(f"tenants: duplicate tenant names {dupes}")
+
+    if fleet_jobs > 1:
+        # Imported lazily: the executor imports this module for its
+        # worker-side shard builds.
+        from repro.cloud.executor import ParallelCloudFleet
+
+        parallel = ParallelCloudFleet(
+            data,
+            jobs=fleet_jobs,
+            tenants=tenants,
+            fidelity=fidelity,
+            policy=policy,
+        )
+        return parallel, duration_s
 
     machines, placement, tolerance = build_fleet_machines(
         data, fidelity=fidelity, policy=policy
@@ -423,6 +472,7 @@ def run_churn_scenario(
     trace: Optional[str] = None,
     fidelity: Optional[str] = None,
     policy: Optional[str] = None,
+    fleet_jobs: int = 1,
 ) -> FleetResult:
     """Load and run a churn scenario end to end.
 
@@ -438,12 +488,17 @@ def run_churn_scenario(
             the scenario file's own ``fidelity`` field.
         policy: Optional allocation-policy override (``--policy``); wins
             over the scenario file's ``policy`` fields.
+        fleet_jobs: Worker processes for the fleet executor (``1`` runs
+            serially); any value yields byte-identical results and traces.
     """
     if metrics is None and trace is None:
         fleet, duration_s = load_churn_scenario(
-            source, fidelity=fidelity, policy=policy
+            source, fidelity=fidelity, policy=policy, fleet_jobs=fleet_jobs
         )
-        return fleet.run(duration_s)
+        try:
+            return fleet.run(duration_s)
+        finally:
+            fleet.close()
 
     from contextlib import ExitStack
 
@@ -466,9 +521,12 @@ def run_churn_scenario(
         if profiler is not None:
             stack.enter_context(use_profiler(profiler))
         fleet, duration_s = load_churn_scenario(
-            source, fidelity=fidelity, policy=policy
+            source, fidelity=fidelity, policy=policy, fleet_jobs=fleet_jobs
         )
-        result = fleet.run(duration_s)
+        try:
+            result = fleet.run(duration_s)
+        finally:
+            fleet.close()
     if profiler is not None and metrics is not None:
         record_slo_stats(profiler.registry, result.tenants)
         write_metrics(profiler.registry, metrics)

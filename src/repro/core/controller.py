@@ -149,7 +149,10 @@ class DCatController:
         # A min-heap so re-registration reuses the lowest released id first.
         self._free_cos: List[int] = list(range(1, self._max_cos))
         self._pool_empty = False
-        self._time_s = 0.0
+        # Integer interval counter; the float clock is derived from it so a
+        # billion intervals of 0.1 s accumulate zero drift (PR 1's residual
+        # fix, applied to the controller's own timebase).
+        self._tick = 0
         self.history: List[StepResult] = []
         self.loop = StagedLoop(
             [
@@ -372,6 +375,33 @@ class DCatController:
 
     # -- the control loop ----------------------------------------------------------
 
+    @property
+    def _time_s(self) -> float:
+        """The control clock: ``tick * interval_s``, never accumulated."""
+        return self._tick * self.config.interval_s
+
+    def skip_idle(self, intervals: int) -> None:
+        """Advance the clock over intervals with no registered workloads.
+
+        The discrete-event fleet clock skips a host's control loop while
+        nothing is registered on it; when a tenant lands, the controller
+        must already be at fleet time so registration and event timestamps
+        line up.  A skipped interval appends nothing to :attr:`history` —
+        only executed control steps are history.
+
+        Raises:
+            ValueError: If workloads are registered (their counters would
+                silently go unsampled) or ``intervals`` is negative.
+        """
+        if intervals < 0:
+            raise ValueError(f"intervals must be >= 0, got {intervals}")
+        if self._records:
+            raise ValueError(
+                f"cannot skip_idle with {len(self._records)} registered "
+                f"workload(s); the control loop must run every interval"
+            )
+        self._tick += intervals
+
     def step(self) -> StepResult:
         """Run one control interval; returns what was observed and decided."""
         bus = self.bus
@@ -570,7 +600,7 @@ class DCatController:
                 sample=sample,
             )
 
-        self._time_s += self.config.interval_s
+        self._tick += 1
         self.history.append(ctx.result)
 
     # -- helpers ------------------------------------------------------------------

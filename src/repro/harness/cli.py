@@ -109,6 +109,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity_flag(churn)
     _add_policy_flag(churn)
+    _add_fleet_jobs_flag(churn)
     chaos = sub.add_parser(
         "chaos",
         help="run a fault-injection scenario and report guarantee retention "
@@ -134,6 +135,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity_flag(chaos)
     _add_policy_flag(chaos)
+    _add_fleet_jobs_flag(chaos)
     bench = sub.add_parser(
         "bench",
         help="time the hot paths and write a dcat-bench/v1 JSON payload",
@@ -178,6 +180,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_fidelity_flag(serve)
     _add_policy_flag(serve)
+    _add_fleet_jobs_flag(serve)
     loadtest = sub.add_parser(
         "loadtest",
         help="boot a daemon, drive open-loop Poisson tenant churn over HTTP, "
@@ -230,6 +233,7 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the report payload as JSON instead of markdown",
     )
+    _add_fleet_jobs_flag(tournament)
     return parser
 
 
@@ -272,6 +276,27 @@ def _add_policy_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_fleet_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    # Like --fidelity/--policy: validated manually in main() so bad values
+    # get the field-contextual stderr message + exit 2.
+    parser.add_argument(
+        "--fleet-jobs",
+        metavar="N",
+        type=int,
+        default=1,
+        help="shard the fleet across N worker processes (default 1 = "
+        "serial in-process; results are byte-identical either way)",
+    )
+
+
+def _check_fleet_jobs(args) -> Optional[str]:
+    """Field-contextual validation for --fleet-jobs; returns error or None."""
+    jobs = getattr(args, "fleet_jobs", None)
+    if jobs is not None and jobs < 1:
+        return f"--fleet-jobs: must be >= 1, got {jobs}"
+    return None
+
+
 def _check_policy(args) -> Optional[str]:
     """Field-contextual validation for --policy; returns an error or None."""
     policy = getattr(args, "policy", None)
@@ -288,7 +313,7 @@ def _check_policy(args) -> Optional[str]:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    error = _check_fidelity(args) or _check_policy(args)
+    error = _check_fidelity(args) or _check_policy(args) or _check_fleet_jobs(args)
     if error is not None:
         print(error, file=sys.stderr)
         return 2
@@ -374,6 +399,12 @@ def _run_chaos(args) -> int:
     from repro.faults.plan import FaultPlanError
     from repro.harness.scenario_file import ScenarioError
 
+    if args.fleet_jobs > 1:
+        # Chaos verdicts hang off per-machine invariant checkers wired to
+        # the report; those live in-process, so chaos runs stay serial.
+        print(
+            "chaos runs are serial; ignoring --fleet-jobs", file=sys.stderr
+        )
     try:
         report = run_chaos(
             args.path,
@@ -421,7 +452,10 @@ def _run_serve(args) -> int:
         from repro.service.daemon import ControllerDaemon
 
         config = load_service_config(
-            args.path, fidelity=args.fidelity, policy=args.policy
+            args.path,
+            fidelity=args.fidelity,
+            policy=args.policy,
+            fleet_jobs=args.fleet_jobs,
         )
         daemon = ControllerDaemon(
             config,
@@ -528,7 +562,9 @@ def _run_tournament(args) -> int:
         validate_tournament_report,
     )
 
-    payload = build_tournament_report(seed=args.seed, quick=args.quick)
+    payload = build_tournament_report(
+        seed=args.seed, quick=args.quick, fleet_jobs=args.fleet_jobs
+    )
     validate_tournament_report(payload)
     try:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -557,6 +593,7 @@ def _run_churn(args) -> int:
             trace=args.trace,
             fidelity=args.fidelity,
             policy=args.policy,
+            fleet_jobs=args.fleet_jobs,
         )
     except ScenarioError as exc:
         print(f"churn scenario error: {exc}", file=sys.stderr)

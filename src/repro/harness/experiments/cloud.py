@@ -10,8 +10,13 @@ IaaS with tenant arrival/departure — using :mod:`repro.cloud`:
 * ``cloud_churn_scripted`` — one scripted + Poisson churn trace replayed
   under each placement policy (first-fit, least-loaded,
   sensitivity-aware), comparing admission and SLO outcomes.
+* ``cloud_churn_fleet1k`` — a sparse scripted trace over a 1000-machine
+  fleet for 10k intervals, run serially and sharded across worker
+  processes, asserting the two runs are byte-identical.  Exercises the
+  discrete-event fleet clock (idle hosts don't step) and the process-pool
+  executor at IaaS scale.
 
-Both are deterministic in ``seed``: machine seeds and the arrival stream
+All are deterministic in ``seed``: machine seeds and the arrival stream
 derive from it, so the same seed yields a byte-identical report.
 """
 
@@ -24,7 +29,11 @@ from repro.harness.results import BarGroup, ExperimentResult, TableResult
 if TYPE_CHECKING:  # imported lazily at run time to avoid a package cycle
     from repro.cloud.fleet import FleetResult
 
-__all__ = ["run_cloud_churn_poisson", "run_cloud_churn_scripted"]
+__all__ = [
+    "run_cloud_churn_poisson",
+    "run_cloud_churn_scripted",
+    "run_cloud_churn_fleet1k",
+]
 
 
 def _churn_scenario(seed: int, placement: str) -> Dict[str, Any]:
@@ -170,4 +179,98 @@ def run_cloud_churn_scripted(seed: int = 1234, **_: Any) -> ExperimentResult:
         )
         out.add(f"slo_{policy}", _slo_table(result))
     out.add("policies", comparison)
+    return out
+
+
+def _fleet1k_scenario(
+    seed: int, machines: int, duration_s: float
+) -> Dict[str, Any]:
+    """A sparse scripted trace: 12 short-lived tenants over a big fleet.
+
+    Most of the horizon is quiescent, so the run's cost is dominated by
+    the ~480 busy host-intervals, not ``machines * duration`` — that is
+    the discrete-event fleet clock at work.
+    """
+    workloads = [
+        {"type": "redis"},
+        {"type": "postgres"},
+        {"type": "mlr", "wss_mb": 8},
+        {"type": "lookbusy"},
+    ]
+    step = duration_s / 12.5
+    tenants = []
+    for i in range(12):
+        tenants.append(
+            {
+                "name": f"batch-{i:02d}",
+                "arrival_s": round(i * step, 3),
+                "baseline_ways": 3 + (i % 3),
+                "lifetime_s": 40,
+                "workload": workloads[i % len(workloads)],
+            }
+        )
+    return {
+        "fleet": {
+            "machines": machines,
+            "socket": "xeon_d",
+            "seed": seed,
+            "interval_s": 1.0,
+        },
+        "manager": {"type": "dcat"},
+        "placement": "least_loaded",
+        "duration_s": duration_s,
+        "slo": {"tolerance": 0.05},
+        "tenants": tenants,
+    }
+
+
+def run_cloud_churn_fleet1k(
+    seed: int = 1234,
+    machines: int = 1000,
+    duration_s: float = 10_000.0,
+    fleet_jobs: int = 4,
+    **_: Any,
+) -> ExperimentResult:
+    """1k-machine churn, serial vs. process-pool, byte-identity checked."""
+    from repro.cloud.scenario import run_churn_scenario
+
+    scenario = _fleet1k_scenario(seed, machines, duration_s)
+    serial = run_churn_scenario(dict(scenario))
+    parallel = run_churn_scenario(dict(scenario), fleet_jobs=fleet_jobs)
+    identical = serial.canonical_bytes() == parallel.canonical_bytes()
+
+    out = ExperimentResult(
+        experiment_id="cloud_churn_fleet1k",
+        title=(
+            f"Tenant churn at scale: {machines} machines, "
+            f"{int(duration_s)} intervals, serial vs {fleet_jobs} workers"
+        ),
+    )
+    out.add("admissions", _admissions_table(serial))
+    out.add("slo", _slo_table(serial))
+    out.add(
+        "fleet",
+        BarGroup(
+            name="fleet summary",
+            bars={
+                "machines": float(machines),
+                "admitted": float(len(serial.admitted)),
+                "rejected": float(len(serial.rejected)),
+                "active_intervals": serial.summary["active_intervals"],
+                "violation_fraction": serial.summary["violation_fraction"],
+                "parallel_identical": 1.0 if identical else 0.0,
+            },
+        ),
+    )
+    out.note(
+        f"serial and {fleet_jobs}-worker runs "
+        f"{'byte-identical' if identical else 'DIVERGED'}; "
+        f"{int(serial.summary['active_intervals'])} busy host-intervals "
+        f"out of {machines * int(duration_s)} possible"
+    )
+    if not identical:
+        raise AssertionError(
+            "parallel fleet run diverged from the serial run "
+            f"(seed={seed}, machines={machines}, jobs={fleet_jobs})"
+        )
     return out

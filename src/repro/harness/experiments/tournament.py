@@ -260,6 +260,7 @@ def build_tournament_report(
     seed: int = 1234,
     quick: bool = False,
     registry: Optional[Any] = None,
+    fleet_jobs: int = 1,
 ) -> Dict[str, Any]:
     """Run the full sweep and return the schema-versioned payload.
 
@@ -271,6 +272,8 @@ def build_tournament_report(
         registry: Optional :class:`repro.obs.registry.MetricsRegistry`;
             when given, each cell lands as a ``dcat_tournament_metric``
             gauge labeled (policy, scenario, faults, metric).
+        fleet_jobs: Worker processes per cell's fleet (``--fleet-jobs``);
+            cell results are byte-identical regardless of the value.
     """
     from repro.cloud.scenario import run_churn_scenario
     from repro.core.policies import strategy_names
@@ -299,7 +302,9 @@ def build_tournament_report(
                 scenario = _SCENARIOS[scenario_name](
                     seed, faults == "on", quick
                 )
-                result = run_churn_scenario(scenario, policy=policy)
+                result = run_churn_scenario(
+                    scenario, policy=policy, fleet_jobs=fleet_jobs
+                )
                 metrics = _cell_metrics(result, float(scenario["duration_s"]))
                 cell: Dict[str, Any] = {
                     "policy": policy,

@@ -22,6 +22,7 @@ from repro.harness.experiments.chaos import (
     run_chaos_hardening_ablation,
 )
 from repro.harness.experiments.cloud import (
+    run_cloud_churn_fleet1k,
     run_cloud_churn_poisson,
     run_cloud_churn_scripted,
 )
@@ -75,6 +76,7 @@ EXPERIMENTS: Dict[str, Runner] = {
     "tab6": run_tab6,
     "cloud_churn_poisson": run_cloud_churn_poisson,
     "cloud_churn_scripted": run_cloud_churn_scripted,
+    "cloud_churn_fleet1k": run_cloud_churn_fleet1k,
     "chaos_guarantee": run_chaos_guarantee,
     "chaos_hardening_ablation": run_chaos_hardening_ablation,
     "fidelity_validation": run_fidelity_validation,
@@ -96,6 +98,11 @@ SMOKE_KWARGS: Dict[str, Dict[str, object]] = {
     "fidelity_validation": {"duration_s": 8.0, "accesses_per_interval": 30_000},
     "policy_tournament": {"quick": True},
     "ablation_policy": {"duration_s": 20.0},
+    "cloud_churn_fleet1k": {
+        "machines": 40,
+        "duration_s": 400.0,
+        "fleet_jobs": 2,
+    },
 }
 
 

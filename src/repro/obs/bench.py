@@ -246,6 +246,44 @@ def _bench_event_emit(quick: bool) -> Callable[[], None]:
     return run
 
 
+def _bench_fleet_step_1k(quick: bool) -> Callable[[], None]:
+    """One fleet interval at IaaS scale: 1000 hosts, 10 of them busy.
+
+    Times the discrete-event fleet clock's per-tick cost — active-host
+    iteration, entitlement snapshots and SLO accounting — which must
+    scale with the *busy* host count, not the fleet size.  Full mode's
+    2000 iterations x 5 repeats is the 10k-interval fleet run the
+    ROADMAP's scale target calls for.
+    """
+    from repro.cloud.scenario import load_churn_scenario
+
+    tenants = [
+        {
+            "name": f"steady-{i:02d}",
+            "arrival_s": 0,
+            "baseline_ways": 3,
+            "workload": {"type": "lookbusy"},
+        }
+        for i in range(10)
+    ]
+    fleet, _ = load_churn_scenario(
+        {
+            "fleet": {
+                "machines": 1000,
+                "socket": "xeon_d",
+                "seed": 42,
+                "interval_s": 1.0,
+            },
+            "manager": {"type": "dcat"},
+            "placement": "least_loaded",
+            "duration_s": 10,
+            "tenants": tenants,
+        }
+    )
+    fleet.step()  # admit the steady tenants: every timed step manages 10 hosts
+    return fleet.step
+
+
 def _bench_mask_pack(quick: bool) -> Callable[[], None]:
     from repro.cat.cos import contiguous_mask, validate_cbm
 
@@ -294,6 +332,10 @@ _BENCHMARKS: List[Dict[str, Any]] = [
     {"name": "mask_pack", "build": _bench_mask_pack,
      "iterations": (2_000, 20_000), "repeats": (3, 5),
      "note": "contiguous-mask packing + CBM validation for 6 workloads"},
+    {"name": "fleet_step_1k", "build": _bench_fleet_step_1k,
+     "iterations": (20, 2_000), "repeats": (3, 5),
+     "note": "one fleet interval over 1000 machines (10 busy) on the "
+             "event-driven clock; full mode totals 10k intervals"},
 ]
 
 

@@ -61,6 +61,16 @@ class CacheManager(abc.ABC):
     def detach_vm(self, vm_name: str) -> None:
         """Stop managing a departed VM (no-op for shared/static managers)."""
 
+    def skip_idle(self, intervals: int) -> None:
+        """Advance the control clock across idle intervals (no VMs attached).
+
+        The discrete-event fleet clock calls this instead of
+        :meth:`control` while a host has nothing to manage.  The default is
+        a no-op: shared/static managers keep no clock.  Managers that do
+        (dCat's controller) must jump theirs so timestamps stay aligned
+        with fleet time when the host wakes.
+        """
+
     def state_of(self, vm_name: str) -> Optional[WorkloadState]:
         """The controller state of a VM, if this manager tracks one."""
         return None
@@ -155,6 +165,11 @@ class DCatManager(CacheManager):
         """Release a departed VM's COS, mask, and core associations."""
         assert self.controller is not None, "setup() was not called"
         self.controller.deregister_workload(vm_name)
+
+    def skip_idle(self, intervals: int) -> None:
+        """Jump the controller clock over intervals with nothing managed."""
+        assert self.controller is not None, "setup() was not called"
+        self.controller.skip_idle(intervals)
 
     def state_of(self, vm_name: str) -> Optional[WorkloadState]:
         if self.controller is None:

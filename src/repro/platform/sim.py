@@ -228,7 +228,9 @@ class CloudSimulation:
         for vm in vms:
             self.result.records[vm.name] = []
             self.result.completions[vm.name] = []
-        self._time_s = 0.0
+        # Integer interval counter; _time_s is derived (tick * interval_s)
+        # so a billion intervals of 0.001 s accumulate zero drift.
+        self._tick = 0
         self._dram_latency = machine.dram.idle_latency_cycles
         # Monitoring: one RMID per VM (mirrors the COS assignment).
         self._rmid_of: Dict[str, int] = {}
@@ -327,6 +329,41 @@ class CloudSimulation:
     @property
     def now(self) -> float:
         return self._time_s
+
+    @property
+    def tick(self) -> int:
+        """Completed intervals since construction (the integer timebase)."""
+        return self._tick
+
+    @property
+    def _time_s(self) -> float:
+        """The sim clock: ``tick * interval_s``, never accumulated."""
+        return self._tick * self.machine.interval_s
+
+    def skip_idle(self, intervals: int) -> None:
+        """Jump the clock over intervals in which no VM is attached.
+
+        The discrete-event fleet clock parks empty hosts and wakes them on
+        the next arrival; this advances the tick, the manager's control
+        clock, and relaxes the DRAM model back to its unloaded state —
+        exactly what ``intervals`` empty ``step()`` calls would do, minus
+        the per-interval loop (and minus the interval events, which an
+        idle host does not emit).
+
+        Raises:
+            ValueError: If ``intervals`` is negative or VMs are attached.
+        """
+        if intervals < 0:
+            raise ValueError(f"intervals must be >= 0, got {intervals}")
+        if self.vms:
+            raise ValueError(
+                f"cannot skip_idle with {len(self.vms)} attached VM(s); "
+                f"the staged loop must run every interval"
+            )
+        self.manager.skip_idle(intervals)
+        # An empty step resolves zero misses -> loaded_latency(0.0).
+        self._dram_latency = self.machine.dram.loaded_latency(0.0)
+        self._tick += intervals
 
     @property
     def dram_latency_cycles(self) -> float:
@@ -498,7 +535,7 @@ class CloudSimulation:
         self._dram_latency = machine.dram.loaded_latency(
             ctx.total_misses / total_capacity_cycles * machine.spec.num_threads
         )
-        self._time_s += machine.interval_s
+        self._tick += 1
 
     # -- internals ------------------------------------------------------------------
 

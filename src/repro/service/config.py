@@ -38,6 +38,7 @@ from repro.cloud.fleet import CloudFleet
 from repro.cloud.placement import build_policy
 from repro.cloud.scenario import (
     ChurnScenarioError,
+    _get_int,
     _get_number,
     _require_mapping,
     build_fleet_machines,
@@ -70,10 +71,16 @@ class ServiceSetup:
     checkers: Dict[str, InvariantChecker] = field(default_factory=dict)
 
     def violation_count(self) -> int:
-        return sum(len(c.violations) for c in self.checkers.values())
+        fleet_violations, _ = self.fleet.checker_stats()
+        return fleet_violations + sum(
+            len(c.violations) for c in self.checkers.values()
+        )
 
     def intervals_checked(self) -> int:
-        return sum(c.intervals_checked for c in self.checkers.values())
+        _, fleet_intervals = self.fleet.checker_stats()
+        return fleet_intervals + sum(
+            c.intervals_checked for c in self.checkers.values()
+        )
 
 
 @dataclass
@@ -84,14 +91,38 @@ class ServiceConfig:
     tick_interval_s: float
     fidelity: Optional[str] = None
     policy: Optional[str] = None
+    fleet_jobs: int = 1
 
     def build(self, bus: Optional[EventBus] = None) -> ServiceSetup:
         """Construct the fleet (and invariant checkers) this config describes.
+
+        With ``fleet_jobs > 1`` the fleet is a
+        :class:`~repro.cloud.executor.ParallelCloudFleet`: invariant
+        checkers run inside the workers (their tallies surface through
+        :meth:`CloudFleet.checker_stats`) and ``ServiceSetup.buses`` /
+        ``checkers`` stay empty.  The caller owns the worker pool and
+        must :meth:`~repro.cloud.fleet.CloudFleet.close` the fleet.
 
         Args:
             bus: Optional shared service bus; tenant lifecycle events go
                 there directly and every machine bus forwards into it.
         """
+        if self.fleet_jobs > 1:
+            from repro.cloud.executor import ParallelCloudFleet
+
+            try:
+                fleet = ParallelCloudFleet(
+                    self.data,
+                    jobs=self.fleet_jobs,
+                    tenants=[],
+                    fidelity=self.fidelity,
+                    policy=self.policy,
+                    bus=bus,
+                    checkers=True,
+                )
+            except ChurnScenarioError as exc:
+                raise ServiceConfigError(str(exc)) from None
+            return ServiceSetup(fleet=fleet)
         buses: Dict[str, EventBus] = {}
 
         def machine_bus(name: str) -> EventBus:
@@ -133,6 +164,7 @@ def load_service_config(
     source: Union[str, Path, Dict[str, Any]],
     fidelity: Optional[str] = None,
     policy: Optional[str] = None,
+    fleet_jobs: Optional[int] = None,
 ) -> ServiceConfig:
     """Parse and validate a service config (dict, JSON string, or path).
 
@@ -141,6 +173,8 @@ def load_service_config(
         policy: Optional allocation-policy override (``--policy``); wins
             over the config's top-level ``policy`` and the manager
             config's ``policy``, like in churn scenarios.
+        fleet_jobs: Optional worker-process count override
+            (``--fleet-jobs``); wins over ``service.fleet_jobs``.
 
     Raises:
         ServiceConfigError: On any malformed field, naming the field.
@@ -178,15 +212,32 @@ def load_service_config(
         tick = _get_number(
             service_spec, "service", "tick_interval_s", default=0.05, positive=True
         )
+        jobs = _get_int(
+            service_spec, "service", "fleet_jobs", default=1, minimum=1
+        )
     except ChurnScenarioError as exc:
         raise ServiceConfigError(str(exc)) from None
+    if fleet_jobs is not None:
+        if fleet_jobs < 1:
+            raise ServiceConfigError(
+                f"service.fleet_jobs: must be >= 1, got {fleet_jobs}"
+            )
+        jobs = fleet_jobs
     config = ServiceConfig(
         data=dict(data),
         tick_interval_s=float(tick),
         fidelity=fidelity,
         policy=policy,
+        fleet_jobs=int(jobs),
     )
     # Validate the fleet vocabulary eagerly by building it once: config
-    # errors surface at load time (CLI exit 2), not mid-serve.
-    config.build()
+    # errors surface at load time (CLI exit 2), not mid-serve.  The
+    # validation build is always serial so loading never spawns (and
+    # leaks) worker processes just to check the vocabulary.
+    ServiceConfig(
+        data=config.data,
+        tick_interval_s=config.tick_interval_s,
+        fidelity=fidelity,
+        policy=policy,
+    ).build()
     return config

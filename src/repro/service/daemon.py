@@ -152,6 +152,7 @@ class ControllerDaemon:
             await self._worker_task
         for checker in self.setup.checkers.values():
             checker.finalize()
+        self.handle.fleet.close()
         if self._trace_writer is not None:
             self._trace_writer.close()
         if self._metrics_path is not None:

@@ -253,7 +253,10 @@ def run_loadtest(
     )
 
     replayed = replay_journal(lambda: config.build().fleet, journal)
-    replay_snapshot = replayed.snapshot_json()
+    try:
+        replay_snapshot = replayed.snapshot_json()
+    finally:
+        replayed.fleet.close()
     replay_identical = replay_snapshot == snapshot
 
     failures: List[str] = []

@@ -119,7 +119,7 @@ class TestTournamentExitCodes:
         monkeypatch.setattr(
             tournament_mod,
             "build_tournament_report",
-            lambda seed=1234, quick=False, registry=None: fake,
+            lambda seed=1234, quick=False, registry=None, fleet_jobs=1: fake,
         )
         monkeypatch.setattr(
             tournament_mod, "validate_tournament_report", lambda payload: None
